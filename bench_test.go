@@ -1,0 +1,153 @@
+// Benchmarks regenerating every table and figure of the evaluation suite at
+// reduced (quick) scale: one benchmark per DESIGN.md §3 entry. Each
+// iteration executes the complete experiment — all cells, one seed — so
+// ns/op measures the cost of regenerating that table. Run the full-scale
+// versions with cmd/experiments.
+package udwn_test
+
+import (
+	"testing"
+
+	"udwn/internal/experiment"
+)
+
+func benchOptions() experiment.Options {
+	o := experiment.QuickOptions()
+	o.Seeds = 1
+	return o
+}
+
+func BenchmarkFigure1Contention(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Figure1Contention(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable1LocalBcastDelta(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table1LocalDelta(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable2LocalBcastN(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table2LocalN(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable3Broadcast(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table3Broadcast(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable4Dynamics(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table4Dynamics(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable5CrossModel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table5CrossModel(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure2LowerBound(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Figure2LowerBound(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable7NoCS(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table7NoCS(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable8Fading(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table8Fading(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure3CDF(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Figure3CDF(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable6Ablations(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table6Ablations(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable9MultiMessage(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table9MultiMessage(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure4Stabilisation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Figure4Stabilisation(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable10MultiChannel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table10MultiChannel(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable11StableDistance(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table11StableDistance(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}

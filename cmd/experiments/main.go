@@ -1,0 +1,60 @@
+// Command experiments regenerates every table and figure of the evaluation
+// suite (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-quick] [-seeds N] [id ...]
+//
+// With no ids, all experiments run in report order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"udwn/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	seeds := flag.Int("seeds", 0, "repetitions per cell (0 = default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiment.DefaultOptions()
+	if *quick {
+		opts = experiment.QuickOptions()
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+
+	selected := experiment.All()
+	if args := flag.Args(); len(args) > 0 {
+		selected = selected[:0]
+		for _, id := range args {
+			e, ok := experiment.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Println(e.Run(opts))
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,133 @@
+// Command netgen generates a topology and validates the model assumptions
+// the paper's algorithms rely on: connectivity at the communication radius,
+// degree statistics, metricity of the path loss, and the empirical
+// (r_min, λ)-bounded-independence constant.
+//
+// Examples:
+//
+//	netgen -kind uniform -n 512 -delta 16
+//	netgen -kind strip -n 300 -length 300
+//	netgen -kind lower-bound -n 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"udwn"
+	"udwn/internal/geom"
+	"udwn/internal/metric"
+	"udwn/internal/stats"
+	"udwn/internal/viz"
+	"udwn/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "uniform", "topology: uniform | grid | cluster | strip | chain | lower-bound")
+	n := flag.Int("n", 512, "number of nodes")
+	delta := flag.Int("delta", 16, "target degree (uniform)")
+	length := flag.Float64("length", 200, "strip length / chain extent")
+	seed := flag.Uint64("seed", 1, "topology seed")
+	checkMetricity := flag.Bool("metricity", false, "verify metricity of the path loss (O(n³), use small n)")
+	svg := flag.String("svg", "", "render the topology to this SVG file")
+	flag.Parse()
+
+	phy := udwn.DefaultPHY()
+	rb := (1 - phy.Eps) * phy.Range
+
+	var pts []geom.Point
+	switch *kind {
+	case "uniform":
+		side := workload.SideForDegree(*n, *delta, rb)
+		pts = workload.UniformDisc(*n, side, *seed)
+	case "grid":
+		cols := 1
+		for cols*cols < *n {
+			cols++
+		}
+		pts = workload.Grid(cols, cols, rb/2)
+	case "cluster":
+		pts = workload.Clustered(*n, *n/32+1, rb/2, workload.SideForDegree(*n, *delta, rb), *seed)
+	case "strip":
+		pts = workload.Strip(*n, *length, rb, *seed)
+	case "chain":
+		pts = workload.Chain(*n, *length/float64(*n))
+	case "lower-bound":
+		return describeLowerBound(*n, phy)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	space := metric.NewEuclidean(pts)
+	fmt.Printf("kind=%s n=%d R=%.1f RB=%.1f\n", *kind, len(pts), phy.Range, rb)
+	fmt.Printf("connected at RB: %v\n", workload.Connected(pts, rb))
+	if dists, diam := workload.HopDiameter(pts, rb, 0); diam > 0 {
+		reach := 0
+		for _, d := range dists {
+			if d >= 0 {
+				reach++
+			}
+		}
+		fmt.Printf("hop eccentricity from node 0: %d (reaches %d/%d)\n", diam, reach, len(pts))
+	}
+
+	var degs []float64
+	grid := geom.NewGrid(pts, rb)
+	for u := range pts {
+		degs = append(degs, float64(grid.CountWithin(pts[u], rb)-1))
+	}
+	d := stats.Summarize(degs)
+	fmt.Printf("degree at RB: mean=%.1f median=%.0f p95=%.0f max=%.0f\n",
+		d.Mean, d.Median, d.P95, d.Max)
+
+	centres := []int{0, len(pts) / 3, 2 * len(pts) / 3}
+	rep := metric.CheckIndependence(space, centres, rb/4, 2, []float64{1, 2, 4, 8})
+	fmt.Printf("bounded independence (r=RB/4, λ=2): C ≤ %.2f over %d samples\n",
+		rep.MaxC, rep.Samples)
+
+	if *checkMetricity {
+		f := &metric.GeometricLoss{Base: space, Alpha: phy.Alpha}
+		ok := metric.SatisfiesMetricity(f, phy.Alpha)
+		fmt.Printf("metricity ζ ≤ α=%.0f: %v\n", phy.Alpha, ok)
+	}
+	if *svg != "" {
+		scene := viz.NewScene(pts, fmt.Sprintf("%s topology, n=%d", *kind, len(pts)))
+		scene.EdgesWithin(rb)
+		out, err := os.Create(*svg)
+		if err != nil {
+			return fmt.Errorf("svg file: %w", err)
+		}
+		defer out.Close()
+		if err := scene.Render(out); err != nil {
+			return err
+		}
+		fmt.Printf("svg: %s\n", *svg)
+	}
+	return nil
+}
+
+func describeLowerBound(n int, phy udwn.PHY) error {
+	inst := workload.LowerBound(n, phy.Range, phy.Eps)
+	rb := (1 - phy.Eps) * phy.Range
+	fmt.Printf("Theorem 5.3 instance: n=%d bridge=%d sink=%d cluster=%d nodes\n",
+		n, inst.Bridge, inst.Sink, len(inst.Cluster))
+	fmt.Printf("cluster spacing: %.3f (= εR/8)\n", inst.Space.Dist(0, 1))
+	fmt.Printf("cluster→bridge:  %.3f (= μ·RB, inside R=%.1f)\n",
+		inst.Space.Dist(0, inst.Bridge), phy.Range)
+	fmt.Printf("bridge→sink:     %.3f (= RB)\n", inst.Space.Dist(inst.Bridge, inst.Sink))
+	fmt.Printf("cluster→sink:    %.3f (beyond R: unreachable directly)\n",
+		inst.Space.Dist(0, inst.Sink))
+	rep := metric.CheckIndependence(inst.Space, []int{0, inst.Bridge}, phy.Eps*phy.Range/8, 1,
+		[]float64{1, 2, 4, 8})
+	fmt.Printf("bounded independence (r=εR/8, λ=1): C ≤ %.2f\n", rep.MaxC)
+	fmt.Printf("RB=%.2f\n", rb)
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command traceinfo summarises a JSONL slot trace produced with
+// `dissem -trace`: channel utilisation over time, throughput, and the
+// busiest transmitters.
+//
+// Usage:
+//
+//	traceinfo run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"udwn/internal/sim"
+	"udwn/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	buckets := flag.Int("buckets", 10, "number of time buckets in the utilisation profile")
+	top := flag.Int("top", 5, "how many of the busiest transmitters to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] <trace.jsonl>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	report(os.Stdout, events, *buckets, *top)
+	return nil
+}
+
+func report(w *os.File, events []sim.SlotEvent, buckets, top int) {
+	lastTick := events[len(events)-1].Tick
+	span := lastTick + 1
+
+	totalTx, totalDecodes, totalMass := 0, 0, 0
+	txPerNode := map[int]int{}
+	massPerNode := map[int]int{}
+	for _, ev := range events {
+		totalTx += len(ev.Transmitters)
+		totalDecodes += ev.Decodes
+		totalMass += len(ev.MassDeliverers)
+		for _, u := range ev.Transmitters {
+			txPerNode[u]++
+		}
+		for _, u := range ev.MassDeliverers {
+			massPerNode[u]++
+		}
+	}
+	fmt.Fprintf(w, "trace: %d active slots over %d ticks\n", len(events), span)
+	fmt.Fprintf(w, "transmissions: %d (%.2f per tick)\n", totalTx, float64(totalTx)/float64(span))
+	fmt.Fprintf(w, "decodes:       %d (%.2f per transmission)\n", totalDecodes,
+		safeDiv(totalDecodes, totalTx))
+	fmt.Fprintf(w, "mass deliveries: %d (%.1f%% of transmissions)\n", totalMass,
+		100*safeDiv(totalMass, totalTx))
+
+	if buckets > 0 {
+		fmt.Fprintf(w, "\nutilisation profile (transmissions per tick, %d buckets):\n", buckets)
+		counts := make([]int, buckets)
+		width := (span + buckets - 1) / buckets
+		if width < 1 {
+			width = 1
+		}
+		for _, ev := range events {
+			b := ev.Tick / width
+			if b >= buckets {
+				b = buckets - 1
+			}
+			counts[b] += len(ev.Transmitters)
+		}
+		maxC := 1
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for b, c := range counts {
+			bar := make([]byte, 0, 40)
+			for i := 0; i < 40*c/maxC; i++ {
+				bar = append(bar, '#')
+			}
+			fmt.Fprintf(w, "  [%5d-%5d) %6.2f %s\n", b*width, (b+1)*width,
+				float64(c)/float64(width), bar)
+		}
+	}
+
+	if top > 0 && len(txPerNode) > 0 {
+		type nodeCount struct{ node, tx, mass int }
+		var list []nodeCount
+		for u, c := range txPerNode {
+			list = append(list, nodeCount{u, c, massPerNode[u]})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].tx != list[j].tx {
+				return list[i].tx > list[j].tx
+			}
+			return list[i].node < list[j].node
+		})
+		if top > len(list) {
+			top = len(list)
+		}
+		fmt.Fprintf(w, "\nbusiest transmitters:\n")
+		for _, nc := range list[:top] {
+			fmt.Fprintf(w, "  node %5d: %5d transmissions, %5d mass deliveries\n",
+				nc.node, nc.tx, nc.mass)
+		}
+	}
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,67 @@
+// Crossmodel: the paper's headline claim in one program — the SAME
+// LocalBcast binary, consuming only the CD/ACK primitives, completes local
+// broadcast under five different communication models (and a shadowed SINR
+// variant) on the same node deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udwn"
+	"udwn/internal/core"
+	"udwn/internal/metric"
+	"udwn/internal/pathloss"
+	"udwn/internal/sim"
+	"udwn/internal/workload"
+)
+
+func main() {
+	const n = 256
+	const degree = 16
+
+	phy := udwn.DefaultPHY()
+	rb := (1 - phy.Eps) * phy.Range
+	side := workload.SideForDegree(n, degree, rb)
+	pts := workload.UniformDisc(n, side, 99)
+
+	networks := []struct {
+		name string
+		nw   *udwn.Network
+	}{
+		{"SINR (fading, cumulative interference)", udwn.NewSINRNetwork(pts, phy)},
+		{"SINR + log-normal shadowing", udwn.NewSINRSpace(
+			pathloss.NewShadowed(metric.NewEuclidean(pts), 0.1, 4), phy)},
+		{"Unit disc graph (radio collisions)", udwn.NewUDGNetwork(pts, phy)},
+		{"Quasi-UDG (adversarial grey zone)", udwn.NewQUDGNetwork(pts, phy, 0.75, nil)},
+		{"Protocol model (interference radius 2R)", udwn.NewProtocolNetwork(pts, phy, 2)},
+		{"Bounded-independence graph (2-hop interference)", udwn.NewBIGNetwork(
+			workload.GeometricGraph(pts, rb), 2, phy)},
+	}
+
+	fmt.Printf("one algorithm, %d models, same %d-node deployment:\n\n", len(networks), n)
+	for _, item := range networks {
+		s, err := item.nw.NewSim(func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Seed: 17, Primitives: sim.CD | sim.ACK})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ticks, ok := s.RunUntil(func(s *sim.Sim) bool {
+			for v := 0; v < n; v++ {
+				if s.FirstMassDelivery(v) < 0 {
+					return false
+				}
+			}
+			return true
+		}, 100000)
+		deg := 0.0
+		for v := 0; v < n; v++ {
+			deg += float64(s.NeighborCount(v))
+		}
+		deg /= n
+		fmt.Printf("  %-48s done=%-5v rounds=%-6d avg degree=%.1f\n",
+			item.name, ok, ticks, deg)
+	}
+	fmt.Println("\nno model-specific code paths were taken: the protocol sees only Busy/Idle and ACK bits")
+}

@@ -1,0 +1,3 @@
+module udwn
+
+go 1.22

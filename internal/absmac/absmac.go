@@ -1,0 +1,126 @@
+// Package absmac exposes the paper's local broadcast algorithm as an
+// abstract MAC layer — the service interface of the "local broadcast layer"
+// line of work the paper builds toward: applications enqueue messages;
+// the layer delivers each to the whole neighbourhood using Try&Adjust with
+// stop-on-ACK, and reports completion. Higher-level distributed algorithms
+// (aggregation, leader election, routing trees) then compose against
+// acknowledged local broadcast instead of raw slots.
+package absmac
+
+import (
+	"udwn/internal/core"
+	"udwn/internal/sim"
+)
+
+// App is the application living on top of one node's MAC endpoint. Methods
+// are called from the simulation loop; they must not retain the endpoint's
+// internal slices.
+type App interface {
+	// Init is called once before the first slot; the app may Send.
+	Init(e *Endpoint)
+	// OnRecv is called for every payload decoded from a neighbour.
+	OnRecv(e *Endpoint, from int, payload int64)
+	// OnAck is called when a previously sent payload has provably reached
+	// the entire neighbourhood.
+	OnAck(e *Endpoint, payload int64)
+}
+
+// Endpoint is the per-node MAC interface handed to the App.
+type Endpoint struct {
+	// ID is the node id.
+	ID int
+	// N is the network-size estimate the backoff uses.
+	N int
+
+	queue   []int64
+	current *core.LocalBcast
+	curLoad int64
+	sent    int
+	acked   int
+}
+
+// Send enqueues a payload for acknowledged local broadcast. Messages are
+// delivered one at a time in FIFO order.
+func (e *Endpoint) Send(payload int64) {
+	e.queue = append(e.queue, payload)
+	e.sent++
+}
+
+// Pending returns the number of queued plus in-flight messages.
+func (e *Endpoint) Pending() int {
+	n := len(e.queue)
+	if e.current != nil {
+		n++
+	}
+	return n
+}
+
+// Sent returns the number of Send calls.
+func (e *Endpoint) Sent() int { return e.sent }
+
+// Acked returns the number of completed (acknowledged) broadcasts.
+func (e *Endpoint) Acked() int { return e.acked }
+
+// Proto adapts an Endpoint + App into a sim.Protocol.
+type Proto struct {
+	e    Endpoint
+	app  App
+	init bool
+}
+
+var (
+	_ sim.Protocol     = (*Proto)(nil)
+	_ sim.ProbReporter = (*Proto)(nil)
+)
+
+// New returns the MAC protocol for node id with the given application.
+func New(id, n int, app App) *Proto {
+	if app == nil {
+		panic("absmac: nil app")
+	}
+	return &Proto{e: Endpoint{ID: id, N: n}, app: app}
+}
+
+// Endpoint exposes the node's endpoint for inspection by experiments.
+func (p *Proto) Endpoint() *Endpoint { return &p.e }
+
+// Act services the transmission queue through one LocalBcast at a time.
+func (p *Proto) Act(n *sim.Node, slot int) sim.Action {
+	if !p.init {
+		p.init = true
+		p.app.Init(&p.e)
+	}
+	if p.e.current == nil && len(p.e.queue) > 0 {
+		p.e.curLoad = p.e.queue[0]
+		p.e.queue = p.e.queue[1:]
+		p.e.current = core.NewLocalBcast(p.e.N, p.e.curLoad)
+	}
+	if p.e.current == nil {
+		return sim.Action{}
+	}
+	return p.e.current.Act(n, slot)
+}
+
+// Observe forwards the slot outcome to the in-flight broadcast and the app.
+func (p *Proto) Observe(n *sim.Node, slot int, obs *sim.Observation) {
+	for _, rc := range obs.Received {
+		p.app.OnRecv(&p.e, rc.From, rc.Msg.Data)
+	}
+	if p.e.current == nil {
+		return
+	}
+	p.e.current.Observe(n, slot, obs)
+	if p.e.current.Done() {
+		p.e.current = nil
+		p.e.acked++
+		p.app.OnAck(&p.e, p.e.curLoad)
+	}
+}
+
+// TransmitProb exposes the in-flight broadcast's probability.
+func (p *Proto) TransmitProb() float64 {
+	if p.e.current == nil {
+		return 0
+	}
+	return p.e.current.TransmitProb()
+}

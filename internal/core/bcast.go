@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+
+	"udwn/internal/sim"
+)
+
+// Bcast is the Section 5 global broadcast algorithm for synchronous,
+// non-spontaneous networks. Rounds have two slots:
+//
+//   - Slot 0: informed nodes disseminate the payload with Try&Adjust(β),
+//     using the higher-precision ACK(ε/2)/SuccClear(ε/2) primitives (the
+//     simulator is configured with SenseEps = ε/2).
+//   - Slot 1: a node that detected ACK in slot 0 retransmits, notifying the
+//     εR/2-neighbourhood that its surroundings are covered; it restarts
+//     Try&Adjust. A node that received in slot 0 and detects NTD in slot 1
+//     also restarts (its neighbourhood has been covered by the near
+//     transmitter).
+//
+// The static variant Bcast* (StopWhenCovered) stops such nodes outright and
+// runs with β = 1, giving the O(D·log n) bound of Corollary 5.2.
+type Bcast struct {
+	ta TryAdjust
+	// StopWhenCovered selects the Bcast* behaviour: stop instead of
+	// restarting the backoff state.
+	stopWhenCovered bool
+	// notifyScale, when positive, replaces the NTD primitive with power
+	// control per App. B: the slot-1 notification is transmitted at this
+	// power scale, so only nodes within scale^{1/ζ}·R can decode it at all —
+	// its receipt certifies proximity with no sensing hardware.
+	notifyScale float64
+
+	informed bool
+	stopped  bool
+	data     int64
+
+	// Per-round slot-0 outcomes, consumed in slot 1.
+	ackSlot0 bool
+	rcvSlot0 bool
+}
+
+var (
+	_ sim.Protocol     = (*Bcast)(nil)
+	_ sim.ProbReporter = (*Bcast)(nil)
+)
+
+// NewBcast returns the dynamic-network Bcast(β) protocol. isSource marks the
+// distinguished node that initially holds the message.
+func NewBcast(n int, beta float64, data int64, isSource bool) *Bcast {
+	return &Bcast{ta: NewTryAdjust(n, beta), data: data, informed: isSource}
+}
+
+// NewBcastStar returns the static variant Bcast*: β = 1 and nodes stop once
+// they have delivered or their neighbourhood is covered.
+func NewBcastStar(n int, data int64, isSource bool) *Bcast {
+	return &Bcast{
+		ta:              NewTryAdjust(n, 1),
+		data:            data,
+		informed:        isSource,
+		stopWhenCovered: true,
+	}
+}
+
+// NewBcastStarPC returns Bcast* with the NTD primitive replaced by power
+// control (App. B): slot-1 notifications are sent at power scale
+// notifyScale = (εR'/(2R))^ζ so that only εR'/2-near nodes can decode them.
+// The protocol then needs only CD and ACK. It requires a power-aware
+// (fading) communication model.
+func NewBcastStarPC(n int, data int64, isSource bool, notifyScale float64) *Bcast {
+	if notifyScale <= 0 || notifyScale >= 1 {
+		panic("core: power-control notify scale must be in (0,1)")
+	}
+	return &Bcast{
+		ta:              NewTryAdjust(n, 1),
+		data:            data,
+		informed:        isSource,
+		stopWhenCovered: true,
+		notifyScale:     notifyScale,
+	}
+}
+
+// NotifyScaleFor returns the slot-1 power scale that limits the decode
+// range to eps·R/2 for a model with exponent zeta: scale = (eps/2)^ζ, since
+// the scaled range is scale^{1/ζ}·R.
+func NotifyScaleFor(eps, zeta float64) float64 {
+	return math.Pow(eps/2, zeta)
+}
+
+// Act transmits the payload in slot 0 per Try&Adjust and the notification
+// retransmission in slot 1 after a detected ACK.
+func (b *Bcast) Act(n *sim.Node, slot int) sim.Action {
+	if slot == 0 {
+		b.ackSlot0 = false
+		b.rcvSlot0 = false
+		if !b.informed || b.stopped {
+			return sim.Action{}
+		}
+		return sim.Action{
+			Transmit: b.ta.Decide(n.RNG),
+			Msg:      sim.Message{Kind: KindData, Data: b.data},
+		}
+	}
+	if b.ackSlot0 {
+		if b.notifyScale > 0 {
+			return sim.Action{
+				Transmit:   true,
+				Msg:        sim.Message{Kind: KindNotify, Data: b.data},
+				PowerScale: b.notifyScale,
+			}
+		}
+		return sim.Action{Transmit: true, Msg: sim.Message{Kind: KindData, Data: b.data}}
+	}
+	return sim.Action{}
+}
+
+// Observe wakes on receipt, applies the backoff rule in slot 0, and handles
+// the success / coverage transitions in slot 1.
+func (b *Bcast) Observe(n *sim.Node, slot int, obs *sim.Observation) {
+	if len(obs.Received) > 0 && !b.informed {
+		// Non-spontaneous wake-up: join the execution upon first receipt.
+		b.informed = true
+		if slot == 0 {
+			b.rcvSlot0 = true
+		}
+		return
+	}
+	if slot == 0 {
+		b.ackSlot0 = obs.Transmitted && obs.Acked
+		b.rcvSlot0 = len(obs.Received) > 0
+		if b.informed && !b.stopped {
+			b.ta.Adjust(obs.Busy)
+		}
+		return
+	}
+	// Slot 1.
+	switch {
+	case b.ackSlot0:
+		b.coveredTransition()
+	case b.rcvSlot0 && b.nearNotified(obs):
+		b.coveredTransition()
+	}
+}
+
+// nearNotified reports whether slot 1 carried a proximity certificate: the
+// NTD primitive's flag, or — in the power-control variant — the receipt of
+// a low-power notification, which is decodable only very near its sender.
+func (b *Bcast) nearNotified(obs *sim.Observation) bool {
+	if b.notifyScale > 0 {
+		for _, rc := range obs.Received {
+			if rc.Msg.Kind == KindNotify {
+				return true
+			}
+		}
+		return false
+	}
+	return obs.NTD
+}
+
+func (b *Bcast) coveredTransition() {
+	if b.stopWhenCovered {
+		b.stopped = true
+	} else {
+		b.ta.Restart()
+	}
+}
+
+// Informed reports whether the node holds the message.
+func (b *Bcast) Informed() bool { return b.informed }
+
+// Stopped reports whether a Bcast* node has stopped.
+func (b *Bcast) Stopped() bool { return b.stopped }
+
+// TransmitProb exposes the slot-0 probability for instrumentation.
+func (b *Bcast) TransmitProb() float64 {
+	if !b.informed || b.stopped {
+		return 0
+	}
+	return b.ta.P()
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"udwn/internal/rng"
+	"udwn/internal/sim"
+)
+
+func obs(mod func(*sim.Observation)) *sim.Observation {
+	o := &sim.Observation{}
+	mod(o)
+	return o
+}
+
+func TestBcastWakesOnReceipt(t *testing.T) {
+	b := NewBcast(64, 3, 42, false)
+	n := &sim.Node{ID: 1, RNG: rng.New(1)}
+	if b.Informed() {
+		t.Fatal("non-source must start uninformed")
+	}
+	if b.Act(n, 0).Transmit {
+		t.Fatal("uninformed node must stay silent")
+	}
+	b.Observe(n, 0, obs(func(o *sim.Observation) {
+		o.Received = []sim.Recv{{From: 0, Msg: sim.Message{Kind: KindData, Data: 42}}}
+	}))
+	if !b.Informed() {
+		t.Fatal("receipt must inform")
+	}
+}
+
+func TestBcastSourceInformed(t *testing.T) {
+	if !NewBcast(64, 3, 42, true).Informed() {
+		t.Fatal("source must start informed")
+	}
+}
+
+func TestBcastSlot1RetransmitAfterAck(t *testing.T) {
+	b := NewBcastStar(64, 42, true)
+	n := &sim.Node{ID: 0, RNG: rng.New(2)}
+	// Force a slot-0 transmission by looping until the coin lands.
+	for i := 0; i < 10000 && !b.Act(n, 0).Transmit; i++ {
+		// An idle observation doubles p so the loop terminates quickly.
+		b.Observe(n, 0, obs(func(o *sim.Observation) {}))
+		b.Observe(n, 1, obs(func(o *sim.Observation) {}))
+	}
+	b.Observe(n, 0, obs(func(o *sim.Observation) {
+		o.Transmitted = true
+		o.Acked = true
+	}))
+	act := b.Act(n, 1)
+	if !act.Transmit || act.Msg.Kind != KindData {
+		t.Fatal("slot 1 after ACK must retransmit the payload")
+	}
+	b.Observe(n, 1, obs(func(o *sim.Observation) {}))
+	if !b.Stopped() {
+		t.Fatal("Bcast* must stop after its own success")
+	}
+}
+
+func TestBcastRestartInsteadOfStop(t *testing.T) {
+	b := NewBcast(64, 2, 42, true) // dynamic variant: restart, don't stop
+	n := &sim.Node{ID: 0, RNG: rng.New(2)}
+	// Raise p with idle rounds, then succeed.
+	for i := 0; i < 20; i++ {
+		b.Act(n, 0)
+		b.Observe(n, 0, obs(func(o *sim.Observation) {}))
+		b.Act(n, 1)
+		b.Observe(n, 1, obs(func(o *sim.Observation) {}))
+	}
+	raised := b.TransmitProb()
+	b.Act(n, 0)
+	b.Observe(n, 0, obs(func(o *sim.Observation) {
+		o.Transmitted = true
+		o.Acked = true
+	}))
+	b.Act(n, 1)
+	b.Observe(n, 1, obs(func(o *sim.Observation) {}))
+	if b.Stopped() {
+		t.Fatal("dynamic Bcast must not stop")
+	}
+	if b.TransmitProb() >= raised {
+		t.Fatalf("success must restart the backoff: p=%v (was %v)", b.TransmitProb(), raised)
+	}
+}
+
+func TestBcastNTDCoverage(t *testing.T) {
+	b := NewBcastStar(64, 42, false)
+	n := &sim.Node{ID: 1, RNG: rng.New(3)}
+	// Round 1: receive the payload in slot 0 (wakes up).
+	b.Act(n, 0)
+	b.Observe(n, 0, obs(func(o *sim.Observation) {
+		o.Received = []sim.Recv{{From: 0, Msg: sim.Message{Kind: KindData, Data: 42}}}
+	}))
+	b.Act(n, 1)
+	b.Observe(n, 1, obs(func(o *sim.Observation) {}))
+	// Round 2: receive in slot 0 again, then NTD in slot 1 → covered → stop.
+	b.Act(n, 0)
+	b.Observe(n, 0, obs(func(o *sim.Observation) {
+		o.Received = []sim.Recv{{From: 0, Msg: sim.Message{Kind: KindData, Data: 42}}}
+	}))
+	b.Act(n, 1)
+	b.Observe(n, 1, obs(func(o *sim.Observation) {
+		o.Received = []sim.Recv{{From: 2, Msg: sim.Message{Kind: KindData, Data: 42}}}
+		o.NTD = true
+	}))
+	if !b.Stopped() {
+		t.Fatal("receipt + NTD must stop a Bcast* node")
+	}
+}
+
+func TestBcastNTDWithoutReceiptIgnored(t *testing.T) {
+	b := NewBcastStar(64, 42, true)
+	n := &sim.Node{ID: 1, RNG: rng.New(4)}
+	b.Act(n, 0)
+	b.Observe(n, 0, obs(func(o *sim.Observation) {})) // nothing received slot 0
+	b.Act(n, 1)
+	b.Observe(n, 1, obs(func(o *sim.Observation) { o.NTD = true }))
+	if b.Stopped() {
+		t.Fatal("NTD without a slot-0 receipt must not stop the node")
+	}
+}
+
+func TestBcastIntegrationLine(t *testing.T) {
+	// Non-spontaneous broadcast down a 10-node line, two-slot rounds.
+	const k = 10
+	pts := makeLine(k)
+	s := twoSlotSim(t, pts, func(id int) sim.Protocol {
+		return NewBcastStar(k, 42, id == 0)
+	})
+	s.MarkInformed(0)
+	_, ok := s.RunUntil(func(s *sim.Sim) bool {
+		for v := 0; v < k; v++ {
+			if s.FirstDecode(v) < 0 {
+				return false
+			}
+		}
+		return true
+	}, 40000)
+	if !ok {
+		t.Fatal("broadcast did not reach the end of the line")
+	}
+	// Monotone frontier: every node's informed time is at least its
+	// predecessor's (hop-distance order along a line).
+	for v := 2; v < k; v++ {
+		if s.FirstDecode(v) < s.FirstDecode(v-1)-1 {
+			t.Fatalf("frontier not monotone: node %d at %d, node %d at %d",
+				v-1, s.FirstDecode(v-1), v, s.FirstDecode(v))
+		}
+	}
+}
+
+func TestBcastDynamicIntegration(t *testing.T) {
+	// The restarting variant also completes (it just keeps its state ready
+	// for topology changes).
+	const k = 8
+	pts := makeLine(k)
+	s := twoSlotSim(t, pts, func(id int) sim.Protocol {
+		return NewBcast(k, 2, 42, id == 0)
+	})
+	s.MarkInformed(0)
+	_, ok := s.RunUntil(func(s *sim.Sim) bool {
+		for v := 0; v < k; v++ {
+			if s.FirstDecode(v) < 0 {
+				return false
+			}
+		}
+		return true
+	}, 60000)
+	if !ok {
+		t.Fatal("dynamic Bcast did not complete on a line")
+	}
+}

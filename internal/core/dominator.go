@@ -1,0 +1,167 @@
+package core
+
+import "udwn/internal/sim"
+
+// DomState is a node's role in the Appendix G dominating-set construction.
+type DomState int
+
+// Dominating-set roles.
+const (
+	// Undecided nodes are still contending in the construction.
+	Undecided DomState = iota + 1
+	// Dominator nodes stopped via SuccClear (a detected ACK): their
+	// transmission reached everything in range, so they dominate it.
+	Dominator
+	// Dominated nodes stopped via NTD: a very near node is a dominator.
+	Dominated
+)
+
+// SpontBcast is the Appendix G spontaneous broadcast: all nodes run the
+// dominating-set construction (Bcast* in spontaneous mode with their own id
+// as the message) and, simultaneously, informed dominators relay the
+// broadcast payload with a small constant probability p0 until they detect
+// ACK. With a constant-density dominator set the relay stage completes in
+// O(D_G + log n) rounds, and neither stage needs to know n when run
+// spontaneously.
+type SpontBcast struct {
+	ta TryAdjust
+	// p0 is the dominator relay probability; a small constant.
+	p0 float64
+	// ntdRSS classifies per-message receipts as near; it equals the NTD
+	// threshold of the simulator's sensing configuration.
+	ntdRSS float64
+
+	state     DomState
+	informed  bool
+	relayDone bool
+	isSource  bool
+	data      int64
+
+	// Per-round slot-0 outcomes.
+	txDomSlot0  bool
+	ackSlot0    bool
+	rcvDomSlot0 bool
+}
+
+var (
+	_ sim.Protocol     = (*SpontBcast)(nil)
+	_ sim.ProbReporter = (*SpontBcast)(nil)
+)
+
+// NewSpontBcast returns the spontaneous broadcast protocol for one node.
+// p0 is the dominator relay probability (a small constant, e.g. 0.05);
+// pInit is the spontaneous Try&Adjust starting probability (arbitrary; the
+// uniform algorithm needs no n); ntdRSS is the sensing NTD threshold used to
+// classify which decoded messages are "near".
+func NewSpontBcast(p0, pInit, ntdRSS float64, data int64, isSource bool) *SpontBcast {
+	if p0 <= 0 || p0 > 0.5 {
+		panic("core: relay probability must be in (0, 1/2]")
+	}
+	return &SpontBcast{
+		ta:       NewTryAdjustSpontaneous(pInit),
+		p0:       p0,
+		ntdRSS:   ntdRSS,
+		state:    Undecided,
+		informed: isSource,
+		isSource: isSource,
+		data:     data,
+	}
+}
+
+// Act runs the dominator construction (undecided nodes) and the payload
+// relay (informed dominators and the source) in slot 0, and the ACK
+// notification retransmission in slot 1.
+func (s *SpontBcast) Act(n *sim.Node, slot int) sim.Action {
+	if slot == 0 {
+		s.txDomSlot0 = false
+		s.ackSlot0 = false
+		s.rcvDomSlot0 = false
+		switch {
+		case s.state == Undecided:
+			if s.ta.Decide(n.RNG) {
+				s.txDomSlot0 = true
+				return sim.Action{Transmit: true, Msg: sim.Message{Kind: KindDom, Data: int64(n.ID)}}
+			}
+		case s.relaying():
+			if n.RNG.Bernoulli(s.p0) {
+				return sim.Action{Transmit: true, Msg: sim.Message{Kind: KindData, Data: s.data}}
+			}
+		}
+		return sim.Action{}
+	}
+	// Slot 1: notify the εR/2 neighbourhood of a construction success.
+	if s.ackSlot0 && s.txDomSlot0 {
+		return sim.Action{Transmit: true, Msg: sim.Message{Kind: KindDom, Data: int64(n.ID)}}
+	}
+	return sim.Action{}
+}
+
+// relaying reports whether the node is actively relaying the payload.
+func (s *SpontBcast) relaying() bool {
+	if s.relayDone || !s.informed {
+		return false
+	}
+	return s.state == Dominator || s.isSource
+}
+
+// Observe handles wake-up, backoff, the dominator/dominated transitions and
+// relay completion.
+func (s *SpontBcast) Observe(n *sim.Node, slot int, obs *sim.Observation) {
+	for _, rc := range obs.Received {
+		if rc.Msg.Kind == KindData {
+			s.informed = true
+		}
+	}
+	if slot == 0 {
+		s.ackSlot0 = obs.Transmitted && obs.Acked
+		for _, rc := range obs.Received {
+			if rc.Msg.Kind == KindDom {
+				s.rcvDomSlot0 = true
+			}
+		}
+		switch {
+		case s.state == Undecided:
+			if s.ackSlot0 && s.txDomSlot0 {
+				// Stopped by SuccClear: this node is a dominator.
+				s.state = Dominator
+			} else {
+				s.ta.Adjust(obs.Busy)
+			}
+		case obs.Transmitted && obs.Acked:
+			// A relay transmission reached all neighbours: done.
+			s.relayDone = true
+		}
+		return
+	}
+	// Slot 1: a near slot-1 KindDom retransmission dominates this node.
+	if s.state != Undecided || !s.rcvDomSlot0 {
+		return
+	}
+	for _, rc := range obs.Received {
+		if rc.Msg.Kind == KindDom && rc.RSS >= s.ntdRSS {
+			s.state = Dominated
+			return
+		}
+	}
+}
+
+// State returns the node's dominating-set role.
+func (s *SpontBcast) State() DomState { return s.state }
+
+// Informed reports whether the node holds the payload.
+func (s *SpontBcast) Informed() bool { return s.informed }
+
+// RelayDone reports whether a relaying node has completed its delivery.
+func (s *SpontBcast) RelayDone() bool { return s.relayDone }
+
+// TransmitProb exposes the slot-0 transmission probability.
+func (s *SpontBcast) TransmitProb() float64 {
+	switch {
+	case s.state == Undecided:
+		return s.ta.P()
+	case s.relaying():
+		return s.p0
+	default:
+		return 0
+	}
+}

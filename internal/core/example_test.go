@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"udwn/internal/core"
+)
+
+// ExampleTryAdjust shows the backoff rule in isolation: Busy halves the
+// transmission probability (never below the floor n^{-β}), Idle doubles it
+// (never above 1/2).
+func ExampleTryAdjust() {
+	ta := core.NewTryAdjust(16, 1) // floor 1/16, start 1/32
+	fmt.Println(ta.P())
+	ta.Adjust(false) // Idle → double
+	fmt.Println(ta.P())
+	ta.Adjust(true) // Busy → halve, clamped to the floor
+	fmt.Println(ta.P())
+	for i := 0; i < 10; i++ {
+		ta.Adjust(false)
+	}
+	fmt.Println(ta.P()) // capped at 1/2
+	ta.Restart()
+	fmt.Println(ta.P())
+	// Output:
+	// 0.03125
+	// 0.0625
+	// 0.0625
+	// 0.5
+	// 0.03125
+}
+
+// ExampleNotifyScaleFor derives the power scale that implements the NTD
+// primitive by power control (Appendix B): the scaled transmission is only
+// decodable within εR/2.
+func ExampleNotifyScaleFor() {
+	scale := core.NotifyScaleFor(0.1, 3)
+	fmt.Printf("%.6f\n", scale)
+	// Output: 0.000125
+}

@@ -1,0 +1,156 @@
+package core
+
+import "udwn/internal/sim"
+
+// MultiBcast is k-message broadcast, the natural extension of Bcast* the
+// paper's related work studies (multiple-message broadcast in SINR): k
+// distinguished sources each hold one message and every node must collect
+// all k. Informed nodes run a single shared Try&Adjust state and, when
+// their coin fires, transmit a uniformly random message from their known,
+// not-yet-covered set; the two-slot ACK/NTD machinery of Bcast* then
+// retires messages per neighbourhood:
+//
+//   - an ACKed slot-0 transmission of message m certifies m reached the
+//     whole neighbourhood: m is covered for this node, and the slot-1
+//     retransmission tells the εR/2 ball the same;
+//   - receiving m in slot 0 and detecting a near retransmission of m in
+//     slot 1 covers m without transmitting.
+//
+// A node with no uncovered known message stays silent until a new message
+// arrives. Per-message progress therefore pipelines: different messages
+// propagate through disjoint regions simultaneously.
+type MultiBcast struct {
+	ta TryAdjust
+
+	known   map[int64]bool
+	covered map[int64]bool
+	ntdRSS  float64
+
+	// Per-round slot-0 state.
+	txMsg    int64
+	txSlot0  bool
+	ackSlot0 bool
+	rcvSlot0 map[int64]bool
+}
+
+var (
+	_ sim.Protocol     = (*MultiBcast)(nil)
+	_ sim.ProbReporter = (*MultiBcast)(nil)
+)
+
+// NewMultiBcast returns the protocol for one node. initial lists the
+// messages the node holds at start (its own source payloads; usually empty
+// or one). ntdRSS is the sensing NTD threshold for classifying near
+// retransmissions.
+func NewMultiBcast(n int, ntdRSS float64, initial ...int64) *MultiBcast {
+	m := &MultiBcast{
+		ta:       NewTryAdjust(n, 1),
+		known:    make(map[int64]bool),
+		covered:  make(map[int64]bool),
+		ntdRSS:   ntdRSS,
+		rcvSlot0: make(map[int64]bool),
+	}
+	for _, msg := range initial {
+		m.known[msg] = true
+	}
+	return m
+}
+
+// pending returns an arbitrary-but-seeded choice among known, uncovered
+// messages, and whether one exists.
+func (m *MultiBcast) pending(n *sim.Node) (int64, bool) {
+	var candidates []int64
+	for msg := range m.known {
+		if !m.covered[msg] {
+			candidates = append(candidates, msg)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	// Map iteration order is random but not seeded; pick deterministically
+	// via the node RNG over a sorted-free selection by min-search with a
+	// random rank, keeping runs replayable.
+	idx := n.RNG.Intn(len(candidates))
+	// Selection must not depend on map order: find the idx-th smallest.
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			if candidates[j] < candidates[i] {
+				candidates[i], candidates[j] = candidates[j], candidates[i]
+			}
+		}
+	}
+	return candidates[idx], true
+}
+
+// Act transmits a pending message in slot 0 and the covered notification in
+// slot 1.
+func (m *MultiBcast) Act(n *sim.Node, slot int) sim.Action {
+	if slot == 0 {
+		m.txSlot0 = false
+		m.ackSlot0 = false
+		for k := range m.rcvSlot0 {
+			delete(m.rcvSlot0, k)
+		}
+		msg, ok := m.pending(n)
+		if !ok || !m.ta.Decide(n.RNG) {
+			return sim.Action{}
+		}
+		m.txMsg = msg
+		m.txSlot0 = true
+		return sim.Action{Transmit: true, Msg: sim.Message{Kind: KindData, Data: msg}}
+	}
+	if m.ackSlot0 && m.txSlot0 {
+		return sim.Action{Transmit: true, Msg: sim.Message{Kind: KindData, Data: m.txMsg}}
+	}
+	return sim.Action{}
+}
+
+// Observe learns received messages, applies the backoff rule in slot 0 and
+// the coverage transitions in slot 1.
+func (m *MultiBcast) Observe(n *sim.Node, slot int, obs *sim.Observation) {
+	for _, rc := range obs.Received {
+		if rc.Msg.Kind == KindData {
+			m.known[rc.Msg.Data] = true
+		}
+	}
+	if slot == 0 {
+		m.ackSlot0 = obs.Transmitted && obs.Acked
+		for _, rc := range obs.Received {
+			if rc.Msg.Kind == KindData {
+				m.rcvSlot0[rc.Msg.Data] = true
+			}
+		}
+		m.ta.Adjust(obs.Busy)
+		return
+	}
+	// Slot 1.
+	if m.ackSlot0 && m.txSlot0 {
+		m.covered[m.txMsg] = true
+		return
+	}
+	for _, rc := range obs.Received {
+		if rc.Msg.Kind == KindData && m.rcvSlot0[rc.Msg.Data] && rc.RSS >= m.ntdRSS {
+			m.covered[rc.Msg.Data] = true
+		}
+	}
+}
+
+// Known returns the number of distinct messages the node holds.
+func (m *MultiBcast) Known() int { return len(m.known) }
+
+// HasMessage reports whether the node holds message msg.
+func (m *MultiBcast) HasMessage(msg int64) bool { return m.known[msg] }
+
+// CoveredCount returns how many of the node's messages are retired.
+func (m *MultiBcast) CoveredCount() int { return len(m.covered) }
+
+// TransmitProb exposes the slot-0 probability (zero when nothing pends).
+func (m *MultiBcast) TransmitProb() float64 {
+	for msg := range m.known {
+		if !m.covered[msg] {
+			return m.ta.P()
+		}
+	}
+	return 0
+}

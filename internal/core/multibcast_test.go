@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"udwn/internal/rng"
+	"udwn/internal/sim"
+)
+
+func TestMultiBcastLearnsMessages(t *testing.T) {
+	m := NewMultiBcast(64, 100)
+	n := &sim.Node{ID: 1, RNG: rng.New(1)}
+	if m.Known() != 0 {
+		t.Fatal("must start empty")
+	}
+	m.Observe(n, 0, &sim.Observation{Received: []sim.Recv{
+		{From: 0, Msg: sim.Message{Kind: KindData, Data: 7}},
+		{From: 2, Msg: sim.Message{Kind: KindData, Data: 9}},
+	}})
+	if m.Known() != 2 || !m.HasMessage(7) || !m.HasMessage(9) {
+		t.Fatalf("known = %d", m.Known())
+	}
+	// Non-data kinds are ignored.
+	m.Observe(n, 0, &sim.Observation{Received: []sim.Recv{
+		{From: 3, Msg: sim.Message{Kind: KindDom, Data: 11}},
+	}})
+	if m.HasMessage(11) {
+		t.Fatal("KindDom must not be learned as a payload")
+	}
+}
+
+func TestMultiBcastInitialMessages(t *testing.T) {
+	m := NewMultiBcast(64, 100, 3, 5)
+	if m.Known() != 2 || !m.HasMessage(3) || !m.HasMessage(5) {
+		t.Fatal("initial messages not held")
+	}
+	if m.TransmitProb() == 0 {
+		t.Fatal("holder of uncovered messages must contend")
+	}
+}
+
+func TestMultiBcastSilentWhenAllCovered(t *testing.T) {
+	m := NewMultiBcast(64, 100, 3)
+	n := &sim.Node{ID: 0, RNG: rng.New(2)}
+	// Transmit 3 and get it ACKed.
+	forceTransmit(t, m, n)
+	m.Observe(n, 0, &sim.Observation{Transmitted: true, Acked: true})
+	m.Act(n, 1)
+	m.Observe(n, 1, &sim.Observation{})
+	if m.CoveredCount() != 1 {
+		t.Fatalf("covered = %d", m.CoveredCount())
+	}
+	if m.TransmitProb() != 0 {
+		t.Fatal("fully covered node must be silent")
+	}
+	if got := m.Act(n, 0); got.Transmit {
+		t.Fatal("covered node transmitted")
+	}
+	// A new message reactivates it.
+	m.Observe(n, 0, &sim.Observation{Received: []sim.Recv{
+		{From: 2, Msg: sim.Message{Kind: KindData, Data: 8}},
+	}})
+	if m.TransmitProb() == 0 {
+		t.Fatal("new message must reactivate the node")
+	}
+}
+
+// forceTransmit drives Act(slot 0) until the coin fires.
+func forceTransmit(t *testing.T, m *MultiBcast, n *sim.Node) {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		if m.Act(n, 0).Transmit {
+			return
+		}
+		// Idle rounds double the probability.
+		m.Observe(n, 0, &sim.Observation{})
+		m.Act(n, 1)
+		m.Observe(n, 1, &sim.Observation{})
+	}
+	t.Fatal("coin never fired")
+}
+
+func TestMultiBcastNTDCoverage(t *testing.T) {
+	m := NewMultiBcast(64, 10, 3)
+	n := &sim.Node{ID: 1, RNG: rng.New(3)}
+	m.Act(n, 0)
+	m.Observe(n, 0, &sim.Observation{Received: []sim.Recv{
+		{From: 0, Msg: sim.Message{Kind: KindData, Data: 5}, RSS: 1},
+	}})
+	m.Act(n, 1)
+	m.Observe(n, 1, &sim.Observation{Received: []sim.Recv{
+		{From: 0, Msg: sim.Message{Kind: KindData, Data: 5}, RSS: 20},
+	}})
+	if !m.HasMessage(5) {
+		t.Fatal("message 5 must be learned")
+	}
+	if m.CoveredCount() != 1 {
+		t.Fatal("near retransmission must cover message 5")
+	}
+	// Message 3 (its own) is still pending.
+	if m.TransmitProb() == 0 {
+		t.Fatal("message 3 still pending")
+	}
+}
+
+func TestMultiBcastNTDRequiresSlot0Receipt(t *testing.T) {
+	m := NewMultiBcast(64, 10, 3)
+	n := &sim.Node{ID: 1, RNG: rng.New(4)}
+	m.Act(n, 0)
+	m.Observe(n, 0, &sim.Observation{})
+	m.Act(n, 1)
+	m.Observe(n, 1, &sim.Observation{Received: []sim.Recv{
+		{From: 0, Msg: sim.Message{Kind: KindData, Data: 5}, RSS: 20},
+	}})
+	// The slot-1 receipt still informs, but must not cover.
+	if !m.HasMessage(5) {
+		t.Fatal("slot-1 receipt must inform")
+	}
+	if m.CoveredCount() != 0 {
+		t.Fatal("coverage requires the slot-0 receipt")
+	}
+}
+
+func TestMultiBcastIntegration(t *testing.T) {
+	// Two sources at the ends of a line; every node must collect both
+	// messages.
+	const k = 8
+	pts := makeLine(k)
+	ntd := ntdThresholdFor(pts)
+	s := twoSlotSim(t, pts, func(id int) sim.Protocol {
+		switch id {
+		case 0:
+			return NewMultiBcast(k, ntd, 100)
+		case k - 1:
+			return NewMultiBcast(k, ntd, 200)
+		default:
+			return NewMultiBcast(k, ntd)
+		}
+	})
+	_, ok := s.RunUntil(func(s *sim.Sim) bool {
+		for v := 0; v < k; v++ {
+			p := s.Protocol(v).(*MultiBcast)
+			if !p.HasMessage(100) || !p.HasMessage(200) {
+				return false
+			}
+		}
+		return true
+	}, 100000)
+	if !ok {
+		t.Fatal("two-message broadcast did not complete")
+	}
+}

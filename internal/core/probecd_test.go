@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"udwn/internal/rng"
+	"udwn/internal/sim"
+)
+
+func TestNoCSEpochStructure(t *testing.T) {
+	p := NewNoCSLocalBcast(16, 3, 1) // K = 5, C = 3 → epoch 15
+	if p.EpochLen() != 15 {
+		t.Fatalf("EpochLen = %d, want 15", p.EpochLen())
+	}
+	if NewNoCSLocalBcast(1, 0, 1).EpochLen() != 2 {
+		t.Fatal("degenerate parameters must clamp")
+	}
+}
+
+func TestNoCSSubPhaseScaling(t *testing.T) {
+	p := NewNoCSLocalBcast(16, 2, 1)
+	n := &sim.Node{ID: 0, RNG: rng.New(1)}
+	// Advance to the last sub-phase: probability scales by 2^{-(K-1)}.
+	for p.subPhase() < p.k-1 {
+		p.Observe(n, 0, &sim.Observation{})
+	}
+	// With base probability 1/32 and scale 2^-4 the transmit rate is tiny:
+	// over many trials almost no transmissions.
+	tx := 0
+	for i := 0; i < 1000; i++ {
+		if p.Act(n, 0).Transmit {
+			tx++
+		}
+	}
+	if tx > 10 {
+		t.Fatalf("scaled probability too high: %d/1000 transmissions", tx)
+	}
+}
+
+func TestNoCSBusyEstimate(t *testing.T) {
+	p := NewNoCSLocalBcast(64, 4, 1)
+	// Decodes peaking in sub-phase 3 → contention estimate 2³ = 8 ≥ 2 → Busy.
+	p.decodes[3] = 5
+	p.decodes[1] = 2
+	if !p.estimateBusy() {
+		t.Fatal("peak at sub-phase 3 must read Busy")
+	}
+	// Peak in sub-phase 0 → estimate 1 < 2 → Idle.
+	for i := range p.decodes {
+		p.decodes[i] = 0
+	}
+	p.decodes[0] = 5
+	if p.estimateBusy() {
+		t.Fatal("peak at sub-phase 0 must read Idle")
+	}
+	// Silent epoch → Idle.
+	for i := range p.decodes {
+		p.decodes[i] = 0
+	}
+	if p.estimateBusy() {
+		t.Fatal("silent epoch must read Idle")
+	}
+}
+
+func TestNoCSAdjustsOncePerEpoch(t *testing.T) {
+	p := NewNoCSLocalBcast(16, 2, 1)
+	n := &sim.Node{ID: 0, RNG: rng.New(2)}
+	p0 := p.TransmitProb()
+	// A full silent epoch: exactly one doubling at the boundary.
+	for i := 0; i < p.EpochLen()-1; i++ {
+		p.Observe(n, 0, &sim.Observation{})
+		if p.TransmitProb() != p0 {
+			t.Fatalf("probability changed mid-epoch at slot %d", i)
+		}
+	}
+	p.Observe(n, 0, &sim.Observation{})
+	if p.TransmitProb() != 2*p0 {
+		t.Fatalf("epoch boundary: p = %v, want %v", p.TransmitProb(), 2*p0)
+	}
+}
+
+func TestNoCSStopsOnAck(t *testing.T) {
+	p := NewNoCSLocalBcast(16, 2, 1)
+	n := &sim.Node{ID: 0, RNG: rng.New(3)}
+	p.Observe(n, 0, &sim.Observation{Transmitted: true, Acked: true})
+	if !p.Done() || p.TransmitProb() != 0 {
+		t.Fatal("must stop on acknowledged delivery")
+	}
+	if p.Act(n, 0).Transmit {
+		t.Fatal("stopped node must be silent")
+	}
+}
+
+func TestNoCSIntegration(t *testing.T) {
+	// The probing protocol completes local broadcast on a line with free
+	// acknowledgements, no CD granted.
+	const k = 10
+	s := lineNetwork(t, k, sim.FreeAck, func(id int) sim.Protocol {
+		return NewNoCSLocalBcast(k, 2, int64(id))
+	})
+	_, ok := s.RunUntil(func(s *sim.Sim) bool {
+		for v := 0; v < k; v++ {
+			if s.FirstMassDelivery(v) < 0 {
+				return false
+			}
+		}
+		return true
+	}, 100000)
+	if !ok {
+		t.Fatal("no-carrier-sense local broadcast did not complete")
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's algorithms: the Try&Adjust contention
+// balancing procedure (Section 3), the LocalBcast asynchronous local
+// broadcast algorithm (Section 4), the two-slot Bcast / Bcast* global
+// broadcast algorithms (Section 5), and the spontaneous dominating-set
+// broadcast of Appendix G.
+//
+// All algorithms are sim.Protocol implementations and are deliberately
+// uniform across communication models: they consume only the CD/ACK/NTD
+// primitives and their own coin flips, never the model internals.
+package core
+
+import (
+	"math"
+
+	"udwn/internal/rng"
+	"udwn/internal/sim"
+)
+
+// Message kinds used by the algorithms.
+const (
+	// KindLocal tags local-broadcast payloads.
+	KindLocal int32 = 1
+	// KindData tags global-broadcast payloads.
+	KindData int32 = 2
+	// KindDom tags dominator-construction traffic (Appendix G).
+	KindDom int32 = 3
+	// KindNotify tags low-power coverage notifications (the App. B
+	// power-control implementation of NTD).
+	KindNotify int32 = 4
+)
+
+// TryAdjust is the contention balancing state of Section 3: a transmission
+// probability that halves on a Busy channel and doubles (capped at 1/2)
+// otherwise.
+//
+//	Try&Adjust(β): p initialised to n^{−β}/2 on arrival; each round,
+//	transmit with probability p, then set
+//	p ← max{p/2, n^{−β}} on Busy, p ← min{2p, 1/2} otherwise.
+type TryAdjust struct {
+	p     float64
+	pMin  float64
+	pInit float64
+}
+
+// NewTryAdjust returns the paper's Try&Adjust(β) state for a network-size
+// estimate n: initial probability n^{−β}/2, halving floor n^{−β}.
+// It panics if n < 1 or beta < 0 (programming errors).
+func NewTryAdjust(n int, beta float64) TryAdjust {
+	if n < 1 {
+		panic("core: TryAdjust needs n >= 1")
+	}
+	if beta < 0 {
+		panic("core: TryAdjust needs beta >= 0")
+	}
+	// The floor n^{-β} is capped at 1/2 so degenerate parameters (β near 0)
+	// cannot push the probability beyond the transmission cap.
+	floor := math.Min(math.Pow(float64(n), -beta), 0.5)
+	return TryAdjust{p: floor / 2, pMin: floor, pInit: floor / 2}
+}
+
+// NewTryAdjustSpontaneous returns the uniform variant used in the static
+// spontaneous setting: an arbitrary initial probability p0 and no floor, so
+// the procedure needs no bound on the network size.
+func NewTryAdjustSpontaneous(p0 float64) TryAdjust {
+	if p0 <= 0 || p0 > 0.5 {
+		panic("core: spontaneous initial probability must be in (0, 1/2]")
+	}
+	return TryAdjust{p: p0, pMin: 0, pInit: p0}
+}
+
+// P returns the current transmission probability.
+func (t *TryAdjust) P() float64 { return t.p }
+
+// Decide flips the transmission coin for this round.
+func (t *TryAdjust) Decide(r *rng.Source) bool { return r.Bernoulli(t.p) }
+
+// Adjust applies the backoff rule for the observed channel state.
+func (t *TryAdjust) Adjust(busy bool) {
+	if busy {
+		t.p = math.Max(t.p/2, t.pMin)
+	} else {
+		t.p = math.Min(2*t.p, 0.5)
+	}
+}
+
+// Restart resets the probability to its arrival value, as Bcast does after a
+// success or a coverage notification.
+func (t *TryAdjust) Restart() { t.p = t.pInit }
+
+// Balancer is plain Try&Adjust as a standalone protocol: nodes forever
+// balance contention and never stop. It exists to instrument Proposition 3.1
+// (Figure 1: logarithmic-time convergence of contention from any starting
+// configuration).
+type Balancer struct {
+	ta TryAdjust
+}
+
+var (
+	_ sim.Protocol     = (*Balancer)(nil)
+	_ sim.ProbReporter = (*Balancer)(nil)
+)
+
+// NewBalancer returns a Balancer with the given initial state.
+func NewBalancer(ta TryAdjust) *Balancer { return &Balancer{ta: ta} }
+
+// Act transmits with the current probability.
+func (b *Balancer) Act(n *sim.Node, slot int) sim.Action {
+	return sim.Action{
+		Transmit: b.ta.Decide(n.RNG),
+		Msg:      sim.Message{Kind: KindLocal, Data: int64(n.ID)},
+	}
+}
+
+// Observe applies the backoff rule.
+func (b *Balancer) Observe(n *sim.Node, slot int, obs *sim.Observation) {
+	b.ta.Adjust(obs.Busy)
+}
+
+// TransmitProb exposes the probability for contention instrumentation.
+func (b *Balancer) TransmitProb() float64 { return b.ta.P() }

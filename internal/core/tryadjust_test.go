@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"udwn/internal/rng"
+	"udwn/internal/sim"
+)
+
+func TestTryAdjustInit(t *testing.T) {
+	ta := NewTryAdjust(100, 1)
+	if got, want := ta.P(), 1.0/200; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("initial p = %v, want %v", got, want)
+	}
+	ta2 := NewTryAdjust(16, 2)
+	if got, want := ta2.P(), math.Pow(16, -2)/2; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("β=2 initial p = %v, want %v", got, want)
+	}
+}
+
+func TestTryAdjustDoubling(t *testing.T) {
+	ta := NewTryAdjust(64, 1)
+	for i := 0; i < 100; i++ {
+		ta.Adjust(false)
+	}
+	if ta.P() != 0.5 {
+		t.Fatalf("idle channel must drive p to the 1/2 cap, got %v", ta.P())
+	}
+}
+
+func TestTryAdjustHalvingFloor(t *testing.T) {
+	ta := NewTryAdjust(64, 1)
+	for i := 0; i < 100; i++ {
+		ta.Adjust(true)
+	}
+	if got, want := ta.P(), 1.0/64; got != want {
+		t.Fatalf("busy channel must floor p at n^-β = %v, got %v", want, got)
+	}
+}
+
+func TestTryAdjustFirstHalveRises(t *testing.T) {
+	// The paper initialises at n^{-β}/2 with floor n^{-β}: the first Busy
+	// round raises the probability to the floor.
+	ta := NewTryAdjust(64, 1)
+	ta.Adjust(true)
+	if got, want := ta.P(), 1.0/64; got != want {
+		t.Fatalf("after first Busy p = %v, want floor %v", got, want)
+	}
+}
+
+func TestTryAdjustRestart(t *testing.T) {
+	ta := NewTryAdjust(64, 1)
+	init := ta.P()
+	for i := 0; i < 10; i++ {
+		ta.Adjust(false)
+	}
+	ta.Restart()
+	if ta.P() != init {
+		t.Fatalf("Restart: p = %v, want %v", ta.P(), init)
+	}
+}
+
+func TestTryAdjustSpontaneousNoFloor(t *testing.T) {
+	ta := NewTryAdjustSpontaneous(0.5)
+	for i := 0; i < 30; i++ {
+		ta.Adjust(true)
+	}
+	if got := ta.P(); got > 1e-9 {
+		t.Fatalf("spontaneous variant has no floor; p = %v", got)
+	}
+}
+
+func TestTryAdjustPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":     func() { NewTryAdjust(0, 1) },
+		"beta<0":  func() { NewTryAdjust(10, -1) },
+		"p0=0":    func() { NewTryAdjustSpontaneous(0) },
+		"p0>half": func() { NewTryAdjustSpontaneous(0.7) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: p always stays within [min(pInit, floor... ), 1/2].
+func TestTryAdjustBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ta := NewTryAdjust(2+r.Intn(1000), r.Range(0, 3))
+		lo := ta.P() // init is the lowest reachable value
+		for i := 0; i < 200; i++ {
+			ta.Adjust(r.Bernoulli(0.5))
+			if ta.P() < lo-1e-18 || ta.P() > 0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Adjust is exactly halving/doubling within the clamps.
+func TestTryAdjustStepProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ta := NewTryAdjustSpontaneous(r.Range(0.001, 0.5))
+		for i := 0; i < 100; i++ {
+			before := ta.P()
+			busy := r.Bernoulli(0.5)
+			ta.Adjust(busy)
+			after := ta.P()
+			if busy && after != before/2 {
+				return false
+			}
+			if !busy && after != math.Min(2*before, 0.5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancerAdjustsOnBusy(t *testing.T) {
+	b := NewBalancer(NewTryAdjustSpontaneous(0.25))
+	n := &sim.Node{ID: 3, RNG: rng.New(1)}
+	b.Observe(n, 0, &sim.Observation{Busy: true})
+	if b.TransmitProb() != 0.125 {
+		t.Fatalf("p = %v after Busy", b.TransmitProb())
+	}
+	b.Observe(n, 0, &sim.Observation{Busy: false})
+	if b.TransmitProb() != 0.25 {
+		t.Fatalf("p = %v after Idle", b.TransmitProb())
+	}
+}
+
+func TestBalancerTransmitsAtRate(t *testing.T) {
+	b := NewBalancer(NewTryAdjustSpontaneous(0.5))
+	n := &sim.Node{ID: 0, RNG: rng.New(42)}
+	tx := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if b.Act(n, 0).Transmit {
+			tx++
+		}
+	}
+	rate := float64(tx) / trials
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("transmit rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestBalancerMessageCarriesID(t *testing.T) {
+	b := NewBalancer(NewTryAdjustSpontaneous(0.5))
+	n := &sim.Node{ID: 9, RNG: rng.New(1)}
+	for i := 0; i < 50; i++ {
+		act := b.Act(n, 0)
+		if act.Transmit {
+			if act.Msg.Kind != KindLocal || act.Msg.Data != 9 {
+				t.Fatalf("message = %+v", act.Msg)
+			}
+			return
+		}
+	}
+	t.Fatal("balancer never transmitted at p=1/2 in 50 trials")
+}

@@ -1,0 +1,103 @@
+package dynamics
+
+import "udwn/internal/sim"
+
+// StableTracker measures the paper's dynamic distance D^c_st(s, v) online
+// (Section 5): a stable s-v path is a node sequence v_1 = s, ..., v_k = v
+// with time intervals I_i of length ≥ L (= c·log n), consecutive interval
+// ends ≥ L apart, such that v_{i-1} and v_i are alive neighbours throughout
+// I_i. The tracker maintains, per edge, the current run of consecutive
+// stable ticks and relaxes an earliest-arrival label whenever an edge has
+// been stable for L ticks ending now and its tail arrived at least L ticks
+// ago. Arrival(v) is then (an upper bound within one hop-interval of) the
+// stable distance from the source, directly comparable to the tick at which
+// Bcast informs v (Theorem 5.1: O(D^c_st)).
+type StableTracker struct {
+	l       int
+	src     int
+	n       int
+	radius  float64
+	run     []int32 // n×n upper-triangular runs, flattened
+	arrival []int32
+}
+
+// NewStableTracker tracks stable paths from src with interval length l
+// (the theorem's c·log n) at neighbourhood radius radius. It panics on a
+// non-positive interval length.
+func NewStableTracker(src, n int, l int, radius float64) *StableTracker {
+	if l < 1 {
+		panic("dynamics: stable interval length must be >= 1")
+	}
+	t := &StableTracker{
+		l:       l,
+		src:     src,
+		n:       n,
+		radius:  radius,
+		run:     make([]int32, n*n),
+		arrival: make([]int32, n),
+	}
+	for i := range t.arrival {
+		t.arrival[i] = -1
+	}
+	t.arrival[src] = 0
+	return t
+}
+
+// Observe ingests the network state of the upcoming tick; call once per
+// tick before sim.Step (matching DegreeTracker's convention).
+func (t *StableTracker) Observe(s *sim.Sim) {
+	tick := s.Tick()
+	sp := s.Space()
+	for u := 0; u < t.n; u++ {
+		if !s.Alive(u) {
+			// All of u's runs reset.
+			for v := 0; v < t.n; v++ {
+				t.run[u*t.n+v] = 0
+				t.run[v*t.n+u] = 0
+			}
+			continue
+		}
+		for v := u + 1; v < t.n; v++ {
+			idx := u*t.n + v
+			stable := s.Alive(v) &&
+				sp.Dist(u, v) <= t.radius && sp.Dist(v, u) <= t.radius
+			if !stable {
+				t.run[idx] = 0
+				continue
+			}
+			t.run[idx]++
+			if int(t.run[idx]) < t.l {
+				continue
+			}
+			// The edge has been stable for (at least) L ticks ending now:
+			// relax both directions.
+			t.relax(u, v, tick)
+			t.relax(v, u, tick)
+		}
+	}
+}
+
+func (t *StableTracker) relax(from, to, tick int) {
+	af := t.arrival[from]
+	if af < 0 || int(af) > tick-t.l {
+		return
+	}
+	if t.arrival[to] < 0 || t.arrival[to] > int32(tick) {
+		t.arrival[to] = int32(tick)
+	}
+}
+
+// Arrival returns the earliest stable-path arrival tick at v, or -1 if no
+// stable path has completed yet. Arrival(src) is 0.
+func (t *StableTracker) Arrival(v int) int { return int(t.arrival[v]) }
+
+// Reached returns how many nodes have a completed stable path.
+func (t *StableTracker) Reached() int {
+	c := 0
+	for _, a := range t.arrival {
+		if a >= 0 {
+			c++
+		}
+	}
+	return c
+}

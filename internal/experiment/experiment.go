@@ -1,0 +1,134 @@
+// Package experiment implements the evaluation suite of DESIGN.md: one
+// runner per table/figure, regenerating the rows and series whose shapes the
+// paper's theorems predict. The same runners back cmd/experiments and the
+// root bench_test.go.
+package experiment
+
+import (
+	"fmt"
+
+	"udwn"
+	"udwn/internal/sim"
+	"udwn/internal/workload"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Seeds is the number of independent repetitions per cell.
+	Seeds int
+	// Quick shrinks sizes for unit tests and smoke benches.
+	Quick bool
+}
+
+// DefaultOptions returns the settings used for the recorded EXPERIMENTS.md
+// numbers.
+func DefaultOptions() Options { return Options{Seeds: 5} }
+
+// QuickOptions returns reduced settings for tests.
+func QuickOptions() Options { return Options{Seeds: 2, Quick: true} }
+
+func (o Options) seeds() int {
+	if o.Seeds < 1 {
+		return 1
+	}
+	return o.Seeds
+}
+
+// Experiment is one table or figure runner.
+type Experiment struct {
+	// ID is the short identifier ("table1", "figure2", ...).
+	ID string
+	// Title is the human-readable description.
+	Title string
+	// Run executes the experiment and returns its printable result.
+	Run func(o Options) fmt.Stringer
+}
+
+// All returns every experiment in report order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "figure1", Title: "Try&Adjust contention convergence (Prop. 3.1)", Run: Figure1Contention},
+		{ID: "table1", Title: "Local broadcast vs max degree (Cor. 4.3)", Run: Table1LocalDelta},
+		{ID: "table2", Title: "Local broadcast vs network size (Cor. 4.3, uniformity)", Run: Table2LocalN},
+		{ID: "table3", Title: "Global broadcast vs diameter (Cor. 5.2, Thm. G.1)", Run: Table3Broadcast},
+		{ID: "table4", Title: "Local broadcast under dynamics (Thm. 4.1)", Run: Table4Dynamics},
+		{ID: "table5", Title: "One algorithm across models (unified model)", Run: Table5CrossModel},
+		{ID: "figure2", Title: "Broadcast without NTD on the Thm. 5.3 instance", Run: Figure2LowerBound},
+		{ID: "table6", Title: "Ablations: thresholds, primitives, adversary, clocks", Run: Table6Ablations},
+		{ID: "table7", Title: "The price of carrier sensing (App. B probing CD)", Run: Table7NoCS},
+		{ID: "table8", Title: "Rayleigh fading: dynamic edges from the channel", Run: Table8Fading},
+		{ID: "figure3", Title: "Per-node completion-time CDF (strong optimality)", Run: Figure3CDF},
+		{ID: "table9", Title: "k-message broadcast (multi-message extension)", Run: Table9MultiMessage},
+		{ID: "figure4", Title: "Contention re-stabilisation under adversarial hot joins", Run: Figure4Stabilisation},
+		{ID: "table10", Title: "Multi-channel local broadcast (naive tuning, negative ablation)", Run: Table10MultiChannel},
+		{ID: "table11", Title: "Dynamic broadcast vs stable distance (Thm. 5.1)", Run: Table11StableDistance},
+	}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// uniformNetwork builds a uniform SINR deployment of n nodes with expected
+// degree delta.
+func uniformNetwork(n, delta int, phy udwn.PHY, topoSeed uint64) *udwn.Network {
+	rb := (1 - phy.Eps) * phy.Range
+	side := workload.SideForDegree(n, delta, rb)
+	return udwn.NewSINRNetwork(workload.UniformDisc(n, side, topoSeed), phy)
+}
+
+// localRun runs a protocol on every node until all n nodes mass-delivered or
+// maxTicks elapsed; it returns the tick by which all completed (or maxTicks)
+// and the mean per-node completion tick over completed nodes.
+func localRun(nw *udwn.Network, n int, factory sim.ProtocolFactory,
+	o udwn.SimOptions, maxTicks int) (all float64, mean float64, done bool) {
+	s, err := nw.NewSim(factory, o)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	return localRunOn(s, n, maxTicks)
+}
+
+// localRunOn drives an already-constructed simulator until every node
+// mass-delivered or maxTicks elapsed, with the same return values as
+// localRun.
+func localRunOn(s *sim.Sim, n, maxTicks int) (all float64, mean float64, done bool) {
+	pred := func(s *sim.Sim) bool {
+		for v := 0; v < n; v++ {
+			if s.FirstMassDelivery(v) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	ticks, ok := s.RunUntil(pred, maxTicks)
+	sum, cnt := 0.0, 0
+	for v := 0; v < n; v++ {
+		if t := s.FirstMassDelivery(v); t >= 0 {
+			sum += float64(t)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return float64(ticks), float64(maxTicks), ok
+	}
+	return float64(ticks), sum / float64(cnt), ok
+}
+
+// broadcastDone returns a predicate for "every node is informed".
+func broadcastDone(n int) func(*sim.Sim) bool {
+	return func(s *sim.Sim) bool {
+		for v := 0; v < n; v++ {
+			if s.FirstDecode(v) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(seen))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("table1"); !ok {
+		t.Fatal("table1 must exist")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id must fail lookup")
+	}
+}
+
+func TestOptionsSeeds(t *testing.T) {
+	if (Options{}).seeds() != 1 {
+		t.Fatal("zero seeds must clamp to 1")
+	}
+	if (Options{Seeds: 4}).seeds() != 4 {
+		t.Fatal("seeds not honoured")
+	}
+}
+
+// Each experiment must run in quick mode with a single seed and produce
+// non-trivial output containing its headline string. These are the
+// end-to-end integration tests of the whole stack (workload → sim →
+// algorithm → aggregation).
+func TestExperimentsQuickRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite skipped in -short mode")
+	}
+	wantFragment := map[string]string{
+		"figure1": "max vicinity contention",
+		"table1":  "Decay/LB",
+		"table2":  "Spontaneous",
+		"table3":  "Bcast*",
+		"table4":  "dyn degree",
+		"table5":  "model",
+		"figure2": "NTD",
+		"table6":  "variant",
+		"table7":  "epoch",
+		"table8":  "coverage",
+		"figure3": "percentile",
+		"table9":  "rounds/k",
+		"figure4": "contention",
+		"table10": "channels",
+		"table11": "stable",
+	}
+	o := Options{Seeds: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := e.Run(o).String()
+			if len(out) < 80 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if !strings.Contains(out, wantFragment[e.ID]) {
+				t.Fatalf("output of %s missing %q:\n%s", e.ID, wantFragment[e.ID], out)
+			}
+		})
+	}
+}
+
+// Every experiment must be a deterministic function of its options: two
+// identical invocations render byte-identical results. This guards against
+// unseeded randomness (e.g. map iteration) sneaking into the harness.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	o := Options{Seeds: 1, Quick: true}
+	for _, e := range []string{"table1", "table5", "table9", "figure2"} {
+		exp, ok := Lookup(e)
+		if !ok {
+			t.Fatalf("missing %s", e)
+		}
+		a := exp.Run(o).String()
+		b := exp.Run(o).String()
+		if a != b {
+			t.Fatalf("%s not deterministic:\n--- first ---\n%s\n--- second ---\n%s", e, a, b)
+		}
+	}
+}
+
+// Figure 1 must show convergence: the hot-start contention at the end of
+// the run is far below its starting value.
+func TestFigure1Converges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	out := Figure1Contention(Options{Seeds: 1, Quick: true}).String()
+	if !strings.Contains(out, "start p=1/2") {
+		t.Fatalf("missing hot series:\n%s", out)
+	}
+	// The first sampled hot-start contention must exceed the last by a
+	// large factor (initial total contention ≈ n/2 per vicinity).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var first, last float64
+	count := 0
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) != 3 {
+			continue
+		}
+		hot, err1 := strconv.ParseFloat(fields[1], 64)
+		if _, err0 := strconv.ParseFloat(fields[0], 64); err0 != nil || err1 != nil {
+			continue
+		}
+		if count == 0 {
+			first = hot
+		}
+		last = hot
+		count++
+	}
+	if count < 10 {
+		t.Fatalf("parsed only %d data rows", count)
+	}
+	if first < 4*last {
+		t.Fatalf("no convergence: first=%v last=%v", first, last)
+	}
+}

@@ -1,0 +1,216 @@
+// Package geom provides planar geometry primitives and a uniform grid
+// spatial index used to accelerate neighbourhood queries in the simulator.
+//
+// Nodes in most workloads live in the Euclidean plane (the canonical
+// (r, λ=2)-bounded-independence metric of the paper); the grid index makes
+// "all nodes within distance r of p" queries O(occupancy) instead of O(n).
+package geom
+
+import "math"
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance, avoiding the sqrt when only
+// comparisons are needed.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point {
+	return Point{p.X + q.X, p.Y + q.Y}
+}
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point {
+	return Point{p.X * s, p.Y * s}
+}
+
+// Grid is a uniform-cell spatial hash over a set of indexed points.
+// Points are identified by their integer index (the simulator's node id).
+// The zero value is not usable; construct with NewGrid.
+type Grid struct {
+	cell    float64
+	minX    float64
+	minY    float64
+	cols    int
+	rows    int
+	cells   [][]int32
+	points  []Point
+	present []bool
+}
+
+// NewGrid builds a grid over points with the given cell size. Cell size
+// should be on the order of the query radius for best performance.
+// It panics if cell <= 0, which is a programming error.
+func NewGrid(points []Point, cell float64) *Grid {
+	if cell <= 0 {
+		panic("geom: grid cell size must be positive")
+	}
+	g := &Grid{
+		cell:    cell,
+		points:  make([]Point, len(points)),
+		present: make([]bool, len(points)),
+	}
+	copy(g.points, points)
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range points {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if len(points) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 0, 0
+	}
+	g.minX, g.minY = minX, minY
+	g.cols = int((maxX-minX)/cell) + 1
+	g.rows = int((maxY-minY)/cell) + 1
+	if g.cols < 1 {
+		g.cols = 1
+	}
+	if g.rows < 1 {
+		g.rows = 1
+	}
+	g.cells = make([][]int32, g.cols*g.rows)
+	for i, p := range points {
+		ci := g.cellIndex(p)
+		g.cells[ci] = append(g.cells[ci], int32(i))
+		g.present[i] = true
+	}
+	return g
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	cx = clamp(cx, 0, g.cols-1)
+	cy = clamp(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Len returns the number of points the grid was built over (present or not).
+func (g *Grid) Len() int { return len(g.points) }
+
+// Point returns the location of point i.
+func (g *Grid) Point(i int) Point { return g.points[i] }
+
+// Present reports whether point i is currently in the index.
+func (g *Grid) Present(i int) bool { return g.present[i] }
+
+// Remove removes point i from the index (e.g. a departed node).
+// Removing an absent point is a no-op.
+func (g *Grid) Remove(i int) {
+	if !g.present[i] {
+		return
+	}
+	g.present[i] = false
+	ci := g.cellIndex(g.points[i])
+	g.cells[ci] = deleteVal(g.cells[ci], int32(i))
+}
+
+// Insert re-inserts point i (e.g. a returning node), optionally at a new
+// location. Inserting a present point first removes it.
+func (g *Grid) Insert(i int, p Point) {
+	if g.present[i] {
+		g.Remove(i)
+	}
+	g.points[i] = p
+	ci := g.cellIndex(p)
+	g.cells[ci] = append(g.cells[ci], int32(i))
+	g.present[i] = true
+}
+
+// Move relocates point i to p, updating the index.
+func (g *Grid) Move(i int, p Point) {
+	if !g.present[i] {
+		g.points[i] = p
+		return
+	}
+	oldCI := g.cellIndex(g.points[i])
+	newCI := g.cellIndex(p)
+	g.points[i] = p
+	if oldCI == newCI {
+		return
+	}
+	g.cells[oldCI] = deleteVal(g.cells[oldCI], int32(i))
+	g.cells[newCI] = append(g.cells[newCI], int32(i))
+}
+
+func deleteVal(s []int32, v int32) []int32 {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Within appends to dst the indices of all present points within distance r
+// of q (inclusive of points exactly at distance r) and returns the extended
+// slice. The point at q itself is included if indexed; callers filter self.
+func (g *Grid) Within(q Point, r float64, dst []int) []int {
+	r2 := r * r
+	cx0 := int((q.X - r - g.minX) / g.cell)
+	cy0 := int((q.Y - r - g.minY) / g.cell)
+	cx1 := int((q.X + r - g.minX) / g.cell)
+	cy1 := int((q.Y + r - g.minY) / g.cell)
+	cx0, cy0 = clamp(cx0, 0, g.cols-1), clamp(cy0, 0, g.rows-1)
+	cx1, cy1 = clamp(cx1, 0, g.cols-1), clamp(cy1, 0, g.rows-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		base := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.cells[base+cx] {
+				if g.points[id].Dist2(q) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CountWithin returns the number of present points within distance r of q.
+func (g *Grid) CountWithin(q Point, r float64) int {
+	r2 := r * r
+	cx0 := int((q.X - r - g.minX) / g.cell)
+	cy0 := int((q.Y - r - g.minY) / g.cell)
+	cx1 := int((q.X + r - g.minX) / g.cell)
+	cy1 := int((q.Y + r - g.minY) / g.cell)
+	cx0, cy0 = clamp(cx0, 0, g.cols-1), clamp(cy0, 0, g.rows-1)
+	cx1, cy1 = clamp(cx1, 0, g.cols-1), clamp(cy1, 0, g.rows-1)
+	n := 0
+	for cy := cy0; cy <= cy1; cy++ {
+		base := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.cells[base+cx] {
+				if g.points[id].Dist2(q) <= r2 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"udwn/internal/rng"
+)
+
+func TestEuclidean3Basics(t *testing.T) {
+	e := NewEuclidean3([][3]float64{{0, 0, 0}, {1, 2, 2}, {0, 0, 5}})
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if d := e.Dist(0, 1); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("Dist(0,1) = %v, want 3", d)
+	}
+	if e.Dist(1, 0) != e.Dist(0, 1) {
+		t.Fatal("3-D Euclidean must be symmetric")
+	}
+	if e.Dist(2, 2) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	if e.Point(2) != [3]float64{0, 0, 5} {
+		t.Fatal("Point accessor wrong")
+	}
+}
+
+func TestEuclidean3CopiesInput(t *testing.T) {
+	pts := [][3]float64{{0, 0, 0}, {1, 0, 0}}
+	e := NewEuclidean3(pts)
+	pts[1] = [3]float64{9, 9, 9}
+	if d := e.Dist(0, 1); math.Abs(d-1) > 1e-12 {
+		t.Fatal("NewEuclidean3 must copy its input")
+	}
+}
+
+func TestEuclidean3BoundedIndependence(t *testing.T) {
+	// 3-space is (r, λ=3)-bounded independent: packing numbers of in-balls
+	// of radius q·r grow like q³ with a modest constant.
+	r := rng.New(5)
+	pts := make([][3]float64, 1200)
+	for i := range pts {
+		pts[i] = [3]float64{r.Range(0, 30), r.Range(0, 30), r.Range(0, 30)}
+	}
+	e := NewEuclidean3(pts)
+	rep := CheckIndependence(e, []int{0, 400, 800}, 1.5, 3, []float64{1, 2, 4})
+	if rep.MaxC > 4 {
+		t.Fatalf("independence constant too large for 3-space: %v", rep.MaxC)
+	}
+	// Against λ=2 the same packings must blow the constant up with q,
+	// showing the dimension is really 3.
+	rep2a := CheckIndependence(e, []int{0}, 1.5, 2, []float64{2})
+	rep2b := CheckIndependence(e, []int{0}, 1.5, 2, []float64{4})
+	if rep2b.MaxC <= rep2a.MaxC {
+		t.Fatalf("λ=2 constant should grow with q in 3-space: q=2→%v q=4→%v",
+			rep2a.MaxC, rep2b.MaxC)
+	}
+}
+
+func TestEuclidean3GeometricLossMetricity(t *testing.T) {
+	r := rng.New(7)
+	pts := make([][3]float64, 20)
+	for i := range pts {
+		pts[i] = [3]float64{r.Range(1, 10), r.Range(1, 10), r.Range(1, 10)}
+	}
+	e := NewEuclidean3(pts)
+	f := &GeometricLoss{Base: &scaledSpace{e, 5}, Alpha: 4}
+	if !SatisfiesMetricity(f, 4) {
+		t.Fatal("geometric loss with α=4 over 3-space must have metricity ≤ 4")
+	}
+}

@@ -1,0 +1,214 @@
+// Package metric implements the finite quasi-metric machinery of the paper:
+// quasi-metric spaces derived from path loss, metricity, balls and in-balls,
+// packings and covers, and (r_min, λ)-bounded independence.
+//
+// A quasi-metric satisfies all metric axioms except symmetry. In the paper,
+// the quasi-distance between nodes is d(u,v) = f(u,v)^{1/ζ}, where f is the
+// path loss and ζ the metricity of the space. Distributed operability of the
+// algorithms requires the space to have bounded independence: an in-ball of
+// radius q·r_min contains an r_min-packing of at most C·q^λ nodes.
+package metric
+
+import (
+	"math"
+
+	"udwn/internal/geom"
+)
+
+// Space is a finite quasi-metric space over nodes 0..Len()-1.
+// Dist need not be symmetric, but must satisfy d(u,u) = 0, d(u,v) > 0 for
+// u != v, and the relaxed (metricity-ζ) triangle inequality.
+type Space interface {
+	Len() int
+	Dist(u, v int) float64
+}
+
+// Euclidean is the plane with the usual (symmetric) distance — the canonical
+// (r, λ=2)-bounded-independence space.
+type Euclidean struct {
+	pts []geom.Point
+}
+
+var _ Space = (*Euclidean)(nil)
+
+// NewEuclidean returns the Euclidean space over the given points.
+// The slice is copied.
+func NewEuclidean(pts []geom.Point) *Euclidean {
+	cp := make([]geom.Point, len(pts))
+	copy(cp, pts)
+	return &Euclidean{pts: cp}
+}
+
+// Len returns the number of points.
+func (e *Euclidean) Len() int { return len(e.pts) }
+
+// Dist returns the Euclidean distance between points u and v.
+func (e *Euclidean) Dist(u, v int) float64 { return e.pts[u].Dist(e.pts[v]) }
+
+// Point returns the location of node u.
+func (e *Euclidean) Point(u int) geom.Point { return e.pts[u] }
+
+// SetPoint relocates node u (used by mobility dynamics).
+func (e *Euclidean) SetPoint(u int, p geom.Point) { e.pts[u] = p }
+
+// Euclidean3 is three-dimensional Euclidean space — an (r, λ=3)-bounded-
+// independence metric, so the unified model requires a path-loss exponent
+// ζ > 3 over it. It models volumetric deployments (buildings, UAV swarms).
+type Euclidean3 struct {
+	pts [][3]float64
+}
+
+var _ Space = (*Euclidean3)(nil)
+
+// NewEuclidean3 returns the 3-D space over the given coordinates. The slice
+// is copied.
+func NewEuclidean3(pts [][3]float64) *Euclidean3 {
+	cp := make([][3]float64, len(pts))
+	copy(cp, pts)
+	return &Euclidean3{pts: cp}
+}
+
+// Len returns the number of points.
+func (e *Euclidean3) Len() int { return len(e.pts) }
+
+// Dist returns the Euclidean distance between points u and v.
+func (e *Euclidean3) Dist(u, v int) float64 {
+	dx := e.pts[u][0] - e.pts[v][0]
+	dy := e.pts[u][1] - e.pts[v][1]
+	dz := e.pts[u][2] - e.pts[v][2]
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Point returns the coordinates of node u.
+func (e *Euclidean3) Point(u int) [3]float64 { return e.pts[u] }
+
+// Matrix is an explicit, possibly asymmetric, distance matrix. It is the
+// general form of the paper's model ("one can view relative signal decrease
+// as implicitly defining a quasi-distance metric") and is used for the
+// Theorem 5.3 lower-bound instance.
+type Matrix struct {
+	n int
+	d []float64
+}
+
+var _ Space = (*Matrix)(nil)
+
+// NewMatrix returns an n-node space with all off-diagonal distances
+// initialised to initDist.
+func NewMatrix(n int, initDist float64) *Matrix {
+	m := &Matrix{n: n, d: make([]float64, n*n)}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				m.d[u*n+v] = initDist
+			}
+		}
+	}
+	return m
+}
+
+// Len returns the number of nodes.
+func (m *Matrix) Len() int { return m.n }
+
+// Dist returns the quasi-distance from u to v.
+func (m *Matrix) Dist(u, v int) float64 { return m.d[u*m.n+v] }
+
+// Set sets the directed distance from u to v.
+func (m *Matrix) Set(u, v int, dist float64) {
+	if u != v {
+		m.d[u*m.n+v] = dist
+	}
+}
+
+// SetSym sets both directed distances between u and v.
+func (m *Matrix) SetSym(u, v int, dist float64) {
+	m.Set(u, v, dist)
+	m.Set(v, u, dist)
+}
+
+// Graph is the shortest-path (hop count) metric of an undirected graph, the
+// natural (1, λ)-bounded-independence metric of the BIG model. Distances are
+// precomputed with BFS from every node.
+type Graph struct {
+	n    int
+	dist []int32 // n*n hop distances; -1 encodes unreachable
+}
+
+var _ Space = (*Graph)(nil)
+
+// Unreachable is the distance reported between disconnected nodes; it is
+// large enough to be beyond any transmission or sensing radius.
+const Unreachable = math.MaxFloat64 / 4
+
+// NewGraph builds the hop metric of the undirected graph given by the
+// adjacency lists adj (adj[u] lists the neighbours of u).
+func NewGraph(adj [][]int) *Graph {
+	n := len(adj)
+	g := &Graph{n: n, dist: make([]int32, n*n)}
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		row := g.dist[s*n : (s+1)*n]
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if row[v] == -1 {
+					row[v] = row[u] + 1
+					queue = append(queue, int32(v))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// Dist returns the hop distance between u and v, or Unreachable if
+// disconnected.
+func (g *Graph) Dist(u, v int) float64 {
+	d := g.dist[u*g.n+v]
+	if d < 0 {
+		return Unreachable
+	}
+	return float64(d)
+}
+
+// Hops returns the integer hop distance, or -1 if disconnected.
+func (g *Graph) Hops(u, v int) int { return int(g.dist[u*g.n+v]) }
+
+// SymDist returns max{d(u,v), d(v,u)}, the separation used by the paper's
+// ball definition B(u,r).
+func SymDist(s Space, u, v int) float64 {
+	return math.Max(s.Dist(u, v), s.Dist(v, u))
+}
+
+// Ball returns B(u,r) = {v : max{d(v,u), d(u,v)} < r}, including u itself.
+func Ball(s Space, u int, r float64) []int {
+	var out []int
+	for v := 0; v < s.Len(); v++ {
+		if v == u || SymDist(s, u, v) < r {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// InBall returns D(u,r) = {v : d(v,u) < r}, including u itself. Note the
+// direction: membership is governed by the distance *towards* u, matching
+// the paper's definition of the vicinity D^ρ_u.
+func InBall(s Space, u int, r float64) []int {
+	var out []int
+	for v := 0; v < s.Len(); v++ {
+		if v == u || s.Dist(v, u) < r {
+			out = append(out, v)
+		}
+	}
+	return out
+}

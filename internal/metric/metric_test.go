@@ -1,0 +1,332 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"udwn/internal/geom"
+	"udwn/internal/rng"
+)
+
+func randomEuclidean(n int, side float64, seed uint64) *Euclidean {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
+	}
+	return NewEuclidean(pts)
+}
+
+func TestEuclideanBasics(t *testing.T) {
+	e := NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 0, Y: 1}})
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if d := e.Dist(0, 1); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist(0,1) = %v", d)
+	}
+	if d := e.Dist(1, 0); math.Abs(d-5) > 1e-12 {
+		t.Fatal("Euclidean must be symmetric")
+	}
+	if e.Dist(2, 2) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	e.SetPoint(2, geom.Point{X: 0, Y: 2})
+	if d := e.Dist(0, 2); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("after SetPoint, Dist = %v", d)
+	}
+}
+
+func TestEuclideanCopiesInput(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	e := NewEuclidean(pts)
+	pts[1] = geom.Point{X: 100, Y: 100}
+	if d := e.Dist(0, 1); math.Abs(d-1) > 1e-12 {
+		t.Fatal("NewEuclidean must copy its input")
+	}
+}
+
+func TestMatrixAsymmetric(t *testing.T) {
+	m := NewMatrix(3, 10)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 5)
+	if m.Dist(0, 1) != 2 || m.Dist(1, 0) != 5 {
+		t.Fatal("directed distances not stored")
+	}
+	if m.Dist(0, 0) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	m.Set(2, 2, 99) // must be ignored
+	if m.Dist(2, 2) != 0 {
+		t.Fatal("Set on diagonal must be ignored")
+	}
+	m.SetSym(1, 2, 7)
+	if m.Dist(1, 2) != 7 || m.Dist(2, 1) != 7 {
+		t.Fatal("SetSym failed")
+	}
+	if SymDist(m, 0, 1) != 5 {
+		t.Fatalf("SymDist = %v, want 5", SymDist(m, 0, 1))
+	}
+}
+
+func TestGraphHopMetric(t *testing.T) {
+	// Path graph 0-1-2-3 plus isolated node 4.
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}, {}}
+	g := NewGraph(adj)
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Dist(0, 3) != 3 {
+		t.Fatalf("Dist(0,3) = %v", g.Dist(0, 3))
+	}
+	if g.Dist(3, 0) != 3 {
+		t.Fatal("hop metric must be symmetric")
+	}
+	if g.Dist(0, 0) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	if g.Dist(0, 4) != Unreachable {
+		t.Fatal("disconnected pair must be Unreachable")
+	}
+	if g.Hops(0, 4) != -1 {
+		t.Fatal("Hops must report -1 for disconnected")
+	}
+	if g.Hops(1, 3) != 2 {
+		t.Fatalf("Hops(1,3) = %d", g.Hops(1, 3))
+	}
+}
+
+func TestBallAndInBall(t *testing.T) {
+	m := NewMatrix(4, 100)
+	// d(1,0)=1 (towards 0), d(0,1)=50: 1 is in D(0,2) but not B(0,2).
+	m.Set(1, 0, 1)
+	m.Set(0, 1, 50)
+	m.SetSym(0, 2, 1.5)
+	in := InBall(m, 0, 2)
+	if !containsInt(in, 0) || !containsInt(in, 1) || !containsInt(in, 2) || containsInt(in, 3) {
+		t.Fatalf("InBall = %v", in)
+	}
+	b := Ball(m, 0, 2)
+	if containsInt(b, 1) {
+		t.Fatal("Ball must use symmetric separation")
+	}
+	if !containsInt(b, 2) || !containsInt(b, 0) {
+		t.Fatalf("Ball = %v", b)
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGeometricLossMetricity(t *testing.T) {
+	e := randomEuclidean(30, 10, 1)
+	// Scale so all distances >= 1, keeping monotonicity of the check valid.
+	f := &GeometricLoss{Base: &scaledSpace{e, 10}, Alpha: 3}
+	if !SatisfiesMetricity(f, 3) {
+		t.Fatal("geometric loss with α=3 over a metric must have metricity ≤ 3")
+	}
+	z := Metricity(f, 1, 4, 0.01)
+	if z > 3.01 {
+		t.Fatalf("Metricity = %v, want ≤ 3", z)
+	}
+}
+
+// scaledSpace scales all distances by a factor (test helper).
+type scaledSpace struct {
+	base  Space
+	scale float64
+}
+
+func (s *scaledSpace) Len() int              { return s.base.Len() }
+func (s *scaledSpace) Dist(u, v int) float64 { return s.base.Dist(u, v) * s.scale }
+
+func TestMetricityViolation(t *testing.T) {
+	// A blatantly non-metric loss: shortcut through w is much longer than
+	// the direct hop, yet the direct hop dwarfs any relaxed inequality.
+	m := NewMatrix(3, 1)
+	m.SetSym(0, 1, 1000)
+	m.SetSym(0, 2, 1)
+	m.SetSym(2, 1, 1)
+	f := &GeometricLoss{Base: m, Alpha: 1}
+	if SatisfiesMetricity(f, 1.5) {
+		t.Fatal("expected metricity violation at ζ=1.5")
+	}
+}
+
+func TestLossSpaceRoundTrip(t *testing.T) {
+	e := randomEuclidean(10, 5, 2)
+	f := &GeometricLoss{Base: e, Alpha: 2.5}
+	ls := &LossSpace{F: f, Zeta: 2.5}
+	for u := 0; u < e.Len(); u++ {
+		for v := 0; v < e.Len(); v++ {
+			if u == v {
+				if ls.Dist(u, v) != 0 {
+					t.Fatal("LossSpace self distance must be 0")
+				}
+				continue
+			}
+			if math.Abs(ls.Dist(u, v)-e.Dist(u, v)) > 1e-9 {
+				t.Fatalf("f^{1/ζ} should recover the base distance: %v vs %v",
+					ls.Dist(u, v), e.Dist(u, v))
+			}
+		}
+	}
+}
+
+func TestGreedyPackingSeparation(t *testing.T) {
+	e := randomEuclidean(200, 20, 3)
+	cands := make([]int, e.Len())
+	for i := range cands {
+		cands[i] = i
+	}
+	r := 1.5
+	packed := GreedyPacking(e, cands, r)
+	for i, u := range packed {
+		for _, v := range packed[i+1:] {
+			if SymDist(e, u, v) < 2*r {
+				t.Fatalf("packing violates separation: d(%d,%d)=%v", u, v, SymDist(e, u, v))
+			}
+		}
+	}
+	// Maximality: every candidate is within 2r of some packed node.
+	for _, c := range cands {
+		ok := false
+		for _, p := range packed {
+			if SymDist(e, c, p) < 2*r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("packing not maximal: node %d uncovered", c)
+		}
+	}
+}
+
+func TestGreedyCoverCovers(t *testing.T) {
+	e := randomEuclidean(150, 15, 4)
+	cands := make([]int, e.Len())
+	for i := range cands {
+		cands[i] = i
+	}
+	r := 2.0
+	cover := GreedyCover(e, cands, r)
+	for _, c := range cands {
+		ok := false
+		for _, s := range cover {
+			if SymDist(e, c, s) < r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("cover misses node %d", c)
+		}
+	}
+}
+
+func TestEuclideanBoundedIndependence(t *testing.T) {
+	// The plane is (r, 2)-bounded independent: packing numbers of in-balls of
+	// radius q·r grow like q² with a small constant.
+	e := randomEuclidean(800, 40, 5)
+	centres := []int{0, 100, 200, 300}
+	rep := CheckIndependence(e, centres, 1.0, 2, []float64{1, 2, 4, 8})
+	if rep.Samples != 16 {
+		t.Fatalf("Samples = %d", rep.Samples)
+	}
+	// A q·r ball fits at most about (q+1)² disjoint r-balls; C ≈ 2.5 is a
+	// generous envelope for greedy packings in the plane.
+	if rep.MaxC > 4 {
+		t.Fatalf("independence constant too large for the plane: %v", rep.MaxC)
+	}
+	if rep.MaxC <= 0 {
+		t.Fatal("expected non-trivial packings")
+	}
+}
+
+func TestPackingNumberMonotone(t *testing.T) {
+	e := randomEuclidean(500, 30, 6)
+	p2 := PackingNumber(e, 0, 1, 2)
+	p8 := PackingNumber(e, 0, 1, 8)
+	if p8 < p2 {
+		t.Fatalf("packing number must grow with q: q=2→%d, q=8→%d", p2, p8)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	e := NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 4}})
+	if d := Diameter(e); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Diameter = %v", d)
+	}
+	// Disconnected graph pairs are ignored.
+	g := NewGraph([][]int{{1}, {0}, {}})
+	if d := Diameter(g); d != 1 {
+		t.Fatalf("graph diameter = %v, want 1", d)
+	}
+}
+
+// Property: InBall is a superset of Ball for any radius.
+func TestBallSubsetProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		e := randomEuclidean(30+r.Intn(30), 10, seed)
+		u := r.Intn(e.Len())
+		radius := r.Range(0.1, 8)
+		ball := Ball(e, u, radius)
+		in := InBall(e, u, radius)
+		for _, v := range ball {
+			if !containsInt(in, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: metricity of geometric loss over Euclidean points is ≤ α.
+func TestMetricityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		e := randomEuclidean(12, 10, seed^0x55)
+		// Shift distances ≥ 1 via scaling to stay in the monotone regime.
+		alpha := r.Range(2, 4)
+		fl := &GeometricLoss{Base: &scaledSpace{e, 5}, Alpha: alpha}
+		return SatisfiesMetricity(fl, alpha+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGraphBFS(b *testing.B) {
+	// 32x32 grid graph.
+	const side = 32
+	adj := make([][]int, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			u := y*side + x
+			if x+1 < side {
+				adj[u] = append(adj[u], u+1)
+				adj[u+1] = append(adj[u+1], u)
+			}
+			if y+1 < side {
+				adj[u] = append(adj[u], u+side)
+				adj[u+side] = append(adj[u+side], u)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewGraph(adj)
+	}
+}

@@ -1,0 +1,95 @@
+package metric
+
+import "math"
+
+// GreedyPacking returns a maximal r-packing of the candidate set: a subset S
+// such that balls of radius r centred at members of S are pairwise disjoint,
+// grown greedily in the given candidate order. Two balls of radius r are
+// disjoint when the symmetric separation of their centres is at least 2r,
+// which is the sufficient condition we use (exact ball-disjointness in a
+// quasi-metric is order dependent; the greedy 2r rule is the standard
+// surrogate and matches the Euclidean case exactly).
+func GreedyPacking(s Space, candidates []int, r float64) []int {
+	var packed []int
+	for _, c := range candidates {
+		ok := true
+		for _, p := range packed {
+			if SymDist(s, c, p) < 2*r {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			packed = append(packed, c)
+		}
+	}
+	return packed
+}
+
+// GreedyCover returns an r-cover of the candidate set: a subset S such that
+// every candidate is within symmetric distance r of some member of S. A
+// maximal (r/2)-packing is always an r-cover; this computes one greedily.
+func GreedyCover(s Space, candidates []int, r float64) []int {
+	return GreedyPacking(s, candidates, r/2)
+}
+
+// PackingNumber returns the size of the greedy maximal r-packing of the
+// in-ball D(u, q·r). It is the quantity bounded by C·q^λ in the definition
+// of (r, λ)-bounded independence.
+func PackingNumber(s Space, u int, r, q float64) int {
+	return len(GreedyPacking(s, InBall(s, u, q*r), r))
+}
+
+// IndependenceReport summarises an empirical bounded-independence check.
+type IndependenceReport struct {
+	RMin   float64
+	Lambda float64
+	// MaxC is the largest observed ratio packing/q^λ across all sampled
+	// centres and radii; the space is (RMin, Lambda)-bounded independent
+	// with constant MaxC over the sampled range.
+	MaxC float64
+	// Samples is the number of (centre, q) pairs examined.
+	Samples int
+}
+
+// CheckIndependence estimates the bounded-independence constant of the space
+// empirically: for every centre in centres and every q in qs, it computes
+// the r_min-packing number of D(u, q·r_min) and reports the maximum of
+// packing/q^λ. A finite, modest MaxC across growing q is evidence of
+// (r_min, λ)-bounded independence.
+func CheckIndependence(s Space, centres []int, rMin, lambda float64, qs []float64) IndependenceReport {
+	rep := IndependenceReport{RMin: rMin, Lambda: lambda}
+	for _, u := range centres {
+		for _, q := range qs {
+			if q < 1 {
+				continue
+			}
+			p := PackingNumber(s, u, rMin, q)
+			c := float64(p) / math.Pow(q, lambda)
+			if c > rep.MaxC {
+				rep.MaxC = c
+			}
+			rep.Samples++
+		}
+	}
+	return rep
+}
+
+// Diameter returns the largest symmetric distance in the space, ignoring
+// Unreachable pairs. It is O(n²).
+func Diameter(s Space) float64 {
+	var diam float64
+	n := s.Len()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := SymDist(s, u, v)
+			if d >= Unreachable {
+				continue
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}

@@ -1,0 +1,115 @@
+// Package rng provides small, fast, deterministic random number generators
+// for the simulator.
+//
+// Every simulation run must be a pure function of its seeds so that
+// experiments are replayable and tests are stable. The package implements
+// splitmix64 (Steele, Lea, Flood 2014), which is statistically strong enough
+// for Monte-Carlo simulation, allocation free, and trivially forkable into
+// independent per-node streams.
+package rng
+
+import "math"
+
+// Source is a deterministic 64-bit pseudo-random source based on splitmix64.
+// The zero value is a valid source seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Fork derives an independent stream from this source, keyed by id.
+// Forking with distinct ids yields streams that do not overlap in practice,
+// which lets the simulator give each node its own reproducible stream.
+func (s *Source) Fork(id uint64) *Source {
+	// Mix the current state with the id through one splitmix64 step each so
+	// that Fork(1) and Fork(2) differ in all bits.
+	return &Source{state: mix(s.state) ^ mix(id^0x9e3779b97f4a7c15)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix(s.state)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+// Values of p outside [0, 1] are clamped.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand, because a non-positive bound is a programming error.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn bound must be positive")
+	}
+	// Lemire's multiply-shift rejection-free-ish reduction is unnecessary
+	// here; plain modulo bias is < 2^-40 for the bounds we use (< 2^24).
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Norm returns a standard normally distributed value using the
+// Box-Muller transform.
+func (s *Source) Norm() float64 {
+	// Guard against log(0).
+	u := 1 - s.Float64()
+	v := s.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Exp returns an exponentially distributed value with rate lambda.
+// It panics if lambda <= 0.
+func (s *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp rate must be positive")
+	}
+	return -math.Log(1-s.Float64()) / lambda
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,75 @@
+// Package sensing implements the paper's carrier-sense primitives — CD
+// (contention detection), ACK (successful transmission detection) and NTD
+// (near transmission detection) — exactly as Appendix B derives them from
+// physical carrier sensing: each primitive is a threshold test on received
+// signal strength over the quasi-metric power field.
+//
+// The probabilistic guarantees in the primitive definitions (Busy w.h.p.
+// under high contention, Idle with constant probability under low
+// contention) emerge from the randomness of the transmission pattern, not
+// from randomness inside the primitive: the threshold tests themselves are
+// deterministic functions of the slot's RSS, as with real hardware.
+package sensing
+
+import (
+	"math"
+
+	"udwn/internal/model"
+)
+
+// Thresholds holds the RSS thresholds implementing the three primitives for
+// a given precision parameter ε.
+type Thresholds struct {
+	// BusyRSS is the CD threshold T = P/((1−ε)R)^ζ: the channel reads Busy
+	// when the total received interference is at least BusyRSS.
+	BusyRSS float64
+	// AckRSS is the ACK threshold T = min{I_c, P/(ρ_c·R)^ζ}: a transmitter
+	// sensing interference below AckRSS knows, by SuccClear, that all its
+	// neighbours received the message.
+	AckRSS float64
+	// NTDRSS is the NTD threshold P/(εR/2)^ζ: a decoded signal at or above
+	// it certifies the sender is within εR/2.
+	NTDRSS float64
+	// Eps is the precision the thresholds were derived for.
+	Eps float64
+}
+
+// NewThresholds derives the App. B thresholds for transmit power p, exponent
+// zeta, precision eps, maximum clear-channel range r, and the model's
+// SuccClear parameters. It panics on non-positive p, zeta, r or eps outside
+// (0, 1), which are programming errors.
+func NewThresholds(p, zeta, eps, r float64, sc model.SuccClear) Thresholds {
+	if p <= 0 || zeta <= 0 || r <= 0 || eps <= 0 || eps >= 1 {
+		panic("sensing: invalid threshold parameters")
+	}
+	busy := p / math.Pow((1-eps)*r, zeta)
+	ack := sc.Ic
+	if sc.RhoC > 0 {
+		ack = math.Min(ack, p/math.Pow(sc.RhoC*r, zeta))
+	}
+	return Thresholds{
+		BusyRSS: busy,
+		AckRSS:  ack,
+		NTDRSS:  p / math.Pow(eps*r/2, zeta),
+		Eps:     eps,
+	}
+}
+
+// Busy reports the CD outcome for total sensed interference rss.
+func (t Thresholds) Busy(rss float64) bool { return rss >= t.BusyRSS }
+
+// AckClear reports whether sensed interference certifies a successful
+// transmission (the physical half of the ACK primitive).
+func (t Thresholds) AckClear(interference float64) bool {
+	return interference <= t.AckRSS
+}
+
+// Near reports the NTD outcome for the received signal strength of a
+// decoded message.
+func (t Thresholds) Near(signalRSS float64) bool { return signalRSS >= t.NTDRSS }
+
+// NTDRadius returns the detection radius εR/2 implied by the NTD threshold
+// for power p and exponent zeta.
+func (t Thresholds) NTDRadius(p, zeta float64) float64 {
+	return math.Pow(p/t.NTDRSS, 1/zeta)
+}

@@ -1,0 +1,130 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"udwn/internal/model"
+)
+
+func sinrSetup() (p, zeta, eps, r float64, sc model.SuccClear) {
+	m := model.NewSINR(8, 1, 1, 3, 0.1)
+	return 8, 3, 0.1, m.R(), m.Params()
+}
+
+func TestBusyThresholdIsPowerAtRB(t *testing.T) {
+	p, zeta, eps, r, sc := sinrSetup()
+	th := NewThresholds(p, zeta, eps, r, sc)
+	want := p / math.Pow((1-eps)*r, zeta)
+	if math.Abs(th.BusyRSS-want) > 1e-12 {
+		t.Fatalf("BusyRSS = %v, want %v", th.BusyRSS, want)
+	}
+	if !th.Busy(want) || !th.Busy(want*2) {
+		t.Fatal("RSS at/above threshold must read Busy")
+	}
+	if th.Busy(want * 0.99) {
+		t.Fatal("RSS below threshold must read Idle")
+	}
+}
+
+func TestAckThresholdSINR(t *testing.T) {
+	// SINR has RhoC = 0, so AckRSS = Ic.
+	p, zeta, eps, r, sc := sinrSetup()
+	th := NewThresholds(p, zeta, eps, r, sc)
+	if th.AckRSS != sc.Ic {
+		t.Fatalf("AckRSS = %v, want Ic = %v", th.AckRSS, sc.Ic)
+	}
+	if !th.AckClear(sc.Ic) || th.AckClear(sc.Ic*1.01) {
+		t.Fatal("AckClear boundary wrong")
+	}
+}
+
+func TestAckThresholdGraphModel(t *testing.T) {
+	// Graph models have Ic = ∞; the geometric term must dominate.
+	m := model.NewUDG(2)
+	th := NewThresholds(1, 3, 0.1, m.R(), m.Params())
+	want := 1 / math.Pow(m.Params().RhoC*2, 3)
+	if math.Abs(th.AckRSS-want) > 1e-12 {
+		t.Fatalf("AckRSS = %v, want %v", th.AckRSS, want)
+	}
+	if math.IsInf(th.AckRSS, 0) {
+		t.Fatal("AckRSS must be finite for graph models")
+	}
+}
+
+func TestNTDRadius(t *testing.T) {
+	p, zeta, eps, r, sc := sinrSetup()
+	th := NewThresholds(p, zeta, eps, r, sc)
+	wantRadius := eps * r / 2
+	if got := th.NTDRadius(p, zeta); math.Abs(got-wantRadius) > 1e-9 {
+		t.Fatalf("NTDRadius = %v, want %v", got, wantRadius)
+	}
+	// Signal from exactly εR/2 away must trigger Near.
+	sig := p / math.Pow(wantRadius, zeta)
+	if !th.Near(sig) {
+		t.Fatal("signal from εR/2 must read Near")
+	}
+	// Signal from 2× further must not.
+	far := p / math.Pow(2*wantRadius, zeta)
+	if th.Near(far) {
+		t.Fatal("signal from εR must not read Near")
+	}
+}
+
+func TestAckImpliesNoNearTransmitter(t *testing.T) {
+	// A single interferer within 2R produces RSS ≥ P/(2R)^ζ, which must
+	// exceed the SINR AckRSS = Ic (Prop. B.1's argument).
+	p, zeta, eps, r, sc := sinrSetup()
+	th := NewThresholds(p, zeta, eps, r, sc)
+	rssAt2R := p / math.Pow(2*r, zeta)
+	if th.AckClear(rssAt2R) {
+		t.Fatalf("interferer at 2R (rss=%v) must break AckClear (thr=%v)",
+			rssAt2R, th.AckRSS)
+	}
+}
+
+func TestBusyImpliesTransmitterNearby(t *testing.T) {
+	// The Busy threshold equals the power of one transmitter at RB: any
+	// single transmitter beyond RB cannot alone trigger Busy.
+	p, zeta, eps, r, sc := sinrSetup()
+	th := NewThresholds(p, zeta, eps, r, sc)
+	beyond := p / math.Pow((1-eps)*r*1.001, zeta)
+	if th.Busy(beyond) {
+		t.Fatal("lone transmitter beyond RB must not read Busy")
+	}
+}
+
+func TestHigherPrecisionTightens(t *testing.T) {
+	// ε/2 thresholds (used by Bcast) are stricter for ACK and NTD.
+	m := model.NewSINR(8, 1, 1, 3, 0.1)
+	full := NewThresholds(8, 3, 0.1, m.R(), m.Params())
+	mHalf := model.NewSINR(8, 1, 1, 3, 0.05)
+	half := NewThresholds(8, 3, 0.05, mHalf.R(), mHalf.Params())
+	if half.AckRSS >= full.AckRSS {
+		t.Fatalf("ACK(ε/2) threshold %v must be below ACK(ε) %v",
+			half.AckRSS, full.AckRSS)
+	}
+	if half.NTDRSS <= full.NTDRSS {
+		t.Fatal("NTD(ε/2) must require a stronger (nearer) signal")
+	}
+}
+
+func TestNewThresholdsPanics(t *testing.T) {
+	sc := model.SuccClear{RhoC: 0, Ic: 1}
+	for name, fn := range map[string]func(){
+		"p=0":    func() { NewThresholds(0, 3, 0.1, 1, sc) },
+		"zeta=0": func() { NewThresholds(1, 0, 0.1, 1, sc) },
+		"r=0":    func() { NewThresholds(1, 3, 0.1, 0, sc) },
+		"eps=0":  func() { NewThresholds(1, 3, 0, 1, sc) },
+		"eps=1":  func() { NewThresholds(1, 3, 1, 1, sc) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

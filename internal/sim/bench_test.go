@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"udwn/internal/metric"
+	"udwn/internal/model"
+	"udwn/internal/workload"
+)
+
+// benchSim builds an n-node uniform SINR simulation where every node
+// transmits with probability p each slot.
+func benchSim(b *testing.B, n int, p float64, prims Primitives) *Sim {
+	b.Helper()
+	pts := workload.UniformDisc(n, workload.SideForDegree(n, 16, 9), 1)
+	s, err := New(Config{
+		Space: metric.NewEuclidean(pts),
+		Model: model.NewSINR(1500, 1.5, 1, 3, 0.1),
+		P:     1500, Zeta: 3, Noise: 1, Eps: 0.1,
+		Seed:       1,
+		Primitives: prims,
+	}, func(int) Protocol { return fixedProb(p) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkStepSparse(b *testing.B) {
+	// Equilibrium-like load: ~4 transmitters per slot at n=1024.
+	s := benchSim(b, 1024, 1.0/256, CD|ACK)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkStepDense(b *testing.B) {
+	// Stress load: ~128 transmitters per slot.
+	s := benchSim(b, 1024, 1.0/8, CD|ACK)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkStepNoPrimitives(b *testing.B) {
+	s := benchSim(b, 1024, 1.0/64, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkStepUDG(b *testing.B) {
+	pts := workload.UniformDisc(1024, workload.SideForDegree(1024, 16, 10), 1)
+	s, err := New(Config{
+		Space: metric.NewEuclidean(pts),
+		Model: model.NewUDG(10),
+		P:     1500, Zeta: 3, Noise: 1, Eps: 0.1,
+		Seed:       1,
+		Primitives: CD | ACK,
+	}, func(int) Protocol { return fixedProb(1.0 / 64) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkNewSim(b *testing.B) {
+	pts := workload.UniformDisc(1024, workload.SideForDegree(1024, 16, 9), 1)
+	space := metric.NewEuclidean(pts)
+	mdl := model.NewSINR(1500, 1.5, 1, 3, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := New(Config{
+			Space: space, Model: mdl,
+			P: 1500, Zeta: 3, Noise: 1, Eps: 0.1, Seed: uint64(i),
+		}, func(int) Protocol { return fixedProb(0.1) })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

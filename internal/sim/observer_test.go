@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+func TestObserverReceivesEvents(t *testing.T) {
+	cfg := lineConfig()
+	var events []SlotEvent
+	cfg.Observer = func(ev SlotEvent) {
+		cp := ev
+		cp.Transmitters = append([]int(nil), ev.Transmitters...)
+		cp.MassDeliverers = append([]int(nil), ev.MassDeliverers...)
+		events = append(events, cp)
+	}
+	s, err := New(cfg, func(id int) Protocol {
+		return &scriptProto{transmitAt: map[int]bool{0: id == 0}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	if len(events) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(events))
+	}
+	ev := events[0]
+	if ev.Tick != 0 || len(ev.Transmitters) != 1 || ev.Transmitters[0] != 0 {
+		t.Fatalf("event 0 = %+v", ev)
+	}
+	if ev.Decodes != 1 {
+		t.Fatalf("Decodes = %d, want 1 (node 1 decodes)", ev.Decodes)
+	}
+	if len(ev.MassDeliverers) != 1 || ev.MassDeliverers[0] != 0 {
+		t.Fatalf("MassDeliverers = %v", ev.MassDeliverers)
+	}
+	if len(events[1].Transmitters) != 0 || events[1].Decodes != 0 {
+		t.Fatalf("silent event = %+v", events[1])
+	}
+}

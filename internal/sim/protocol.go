@@ -1,0 +1,186 @@
+package sim
+
+import "udwn/internal/rng"
+
+// Message is the payload of one transmission. The simulator treats it as
+// opaque; protocols define the meaning of Kind and Data (e.g. a broadcast
+// payload carries the source in Data).
+type Message struct {
+	// Src is the id of the transmitting node.
+	Src int
+	// Kind is a protocol-defined discriminator.
+	Kind int32
+	// Data is a protocol-defined payload.
+	Data int64
+}
+
+// Action is what a node does in one slot.
+type Action struct {
+	// Transmit requests a transmission of Msg this slot.
+	Transmit bool
+	// Msg is the message to transmit; ignored unless Transmit.
+	Msg Message
+	// PowerScale scales this transmission's power (0 or 1 = the uniform
+	// power P the model assumes). Values < 1 implement the App. B remark
+	// that the NTD primitive can be realised with power control: a
+	// sufficiently lowered transmission is decodable only very near the
+	// sender, so its receipt itself certifies proximity. Fading models
+	// honour the scale in both signal and interference; pure graph models
+	// apply a decode-range cutoff at scale^{1/ζ}·R.
+	PowerScale float64
+	// Channel is the frequency channel the node tunes to this slot, for
+	// transmitting or listening alike (half-duplex single radio). Only
+	// meaningful when Config.Channels > 1; values outside [0, Channels) are
+	// clamped. Transmissions interfere, carrier-sense and decode only
+	// within their channel.
+	Channel int
+}
+
+// Recv describes one successfully decoded transmission.
+type Recv struct {
+	// From is the transmitter's id.
+	From int
+	// Msg is the decoded message.
+	Msg Message
+	// RSS is the received signal strength of this transmission, used by the
+	// NTD primitive.
+	RSS float64
+}
+
+// Observation is delivered to a node after each slot in which it acted.
+// Fields corresponding to disabled primitives are left at their zero value.
+type Observation struct {
+	// Tick is the global tick the observation describes.
+	Tick int
+	// Slot is the slot index within the round.
+	Slot int
+	// Transmitted reports whether this node transmitted in the slot.
+	Transmitted bool
+	// Received lists the messages this node decoded (always empty for
+	// transmitters: nodes are half-duplex).
+	Received []Recv
+	// Busy is the CD outcome: total sensed interference at or above the
+	// busy threshold. Valid only when the CD primitive is enabled.
+	Busy bool
+	// Acked is the ACK outcome for a transmitter. With the ACK primitive it
+	// follows Def. ACK (threshold sensing + ground truth + adversary); with
+	// FreeAck it is the ground-truth mass-delivery indicator.
+	Acked bool
+	// NTD reports whether any decoded message came from within the NTD
+	// radius εR/2. Valid only when the NTD primitive is enabled.
+	NTD bool
+}
+
+// Node is the per-node context handed to protocol callbacks.
+type Node struct {
+	// ID is the node's identity in [0, n).
+	ID int
+	// RNG is the node's private random stream.
+	RNG *rng.Source
+}
+
+// Protocol is the per-node algorithm. The simulator owns one instance per
+// node (created by a ProtocolFactory); instances never run concurrently, so
+// they need no synchronisation.
+type Protocol interface {
+	// Act is invoked at each of the node's slot boundaries and returns the
+	// node's action for the slot.
+	Act(n *Node, slot int) Action
+	// Observe is invoked after a slot in which the node acted, with the
+	// slot's outcome.
+	Observe(n *Node, slot int, obs *Observation)
+}
+
+// Hearer is an optional interface for protocols that want passive receipts:
+// in locally-synchronous (async) mode a node can decode messages in ticks
+// between its own round boundaries; such receipts are delivered via Hear.
+type Hearer interface {
+	Hear(n *Node, recv []Recv)
+}
+
+// ProtocolFactory creates the protocol instance for node id. It is called
+// once per node at construction and again whenever a node is revived
+// (churn arrival), giving arrivals a fresh initial state as the paper
+// assumes.
+type ProtocolFactory func(id int) Protocol
+
+// Primitives selects which sensing primitives the simulator grants to the
+// protocols.
+type Primitives uint8
+
+// Primitive flags.
+const (
+	// CD grants contention detection (Busy/Idle channel readings).
+	CD Primitives = 1 << iota
+	// ACK grants successful-transmission detection per Def. ACK.
+	ACK
+	// NTD grants near-transmission detection.
+	NTD
+	// FreeAck replaces threshold-sensed ACK with ground-truth delivery
+	// feedback, modelling the "free acknowledgements" assumption of prior
+	// work; used by baselines.
+	FreeAck
+)
+
+// Has reports whether p includes flag f.
+func (p Primitives) Has(f Primitives) bool { return p&f != 0 }
+
+// SlotEvent summarises one resolved slot for tracing and live
+// instrumentation. Slices alias simulator scratch buffers and are only
+// valid during the observer call; copy to retain.
+type SlotEvent struct {
+	// Tick is the global tick index.
+	Tick int `json:"tick"`
+	// Slot is the slot index within the round.
+	Slot int `json:"slot"`
+	// Transmitters lists the nodes that transmitted.
+	Transmitters []int `json:"tx"`
+	// Decodes is the total number of successful receptions.
+	Decodes int `json:"decodes"`
+	// MassDeliverers lists transmitters whose message reached their whole
+	// alive neighbourhood this slot.
+	MassDeliverers []int `json:"mass,omitempty"`
+}
+
+// Adversary resolves outcomes the model leaves unspecified. Implementations
+// must be deterministic functions of their arguments (plus their own seeded
+// randomness) for runs to be replayable.
+type Adversary interface {
+	// AckAmbiguous resolves an ACK outcome when Def. ACK allows either
+	// answer: the transmission reached all neighbours but the sensed
+	// interference exceeded the ACK threshold.
+	AckAmbiguous(node, tick int) bool
+}
+
+// PessimisticAdversary answers every ambiguous question with the outcome
+// least favourable to the algorithm. It is the default.
+type PessimisticAdversary struct{}
+
+var _ Adversary = PessimisticAdversary{}
+
+// AckAmbiguous returns false: a delivered-but-noisy transmission is not
+// acknowledged.
+func (PessimisticAdversary) AckAmbiguous(node, tick int) bool { return false }
+
+// OptimisticAdversary answers every ambiguous question favourably.
+type OptimisticAdversary struct{}
+
+var _ Adversary = OptimisticAdversary{}
+
+// AckAmbiguous returns true.
+func (OptimisticAdversary) AckAmbiguous(node, tick int) bool { return true }
+
+// RandomAdversary flips a deterministic per-(node, tick) coin.
+type RandomAdversary struct {
+	// Seed keys the coin flips.
+	Seed uint64
+	// P is the probability of the favourable answer.
+	P float64
+}
+
+var _ Adversary = (*RandomAdversary)(nil)
+
+// AckAmbiguous flips the coin for (node, tick).
+func (a *RandomAdversary) AckAmbiguous(node, tick int) bool {
+	return rng.New(a.Seed ^ uint64(node)<<32 ^ uint64(tick)).Bernoulli(a.P)
+}

@@ -1,0 +1,486 @@
+// Package sim is the discrete, slot-based wireless network simulator the
+// dissemination algorithms run on.
+//
+// The simulator realises the paper's execution model: nodes act in rounds
+// (optionally split into slots, as the Bcast algorithm requires), decide to
+// transmit with some probability, and the communication model resolves who
+// decodes whom under cumulative or graph-based interference. Carrier-sensing
+// primitives (CD/ACK/NTD) are computed from the slot's received signal
+// strengths per Appendix B. Local synchrony — clocks running at rates within
+// a factor two of each other with no global alignment — is modelled by
+// per-node round periods of 2-4 ticks with random phases. Dynamics (churn
+// and mobility) are driven externally through the Kill/Revive/Move mutators
+// between Step calls.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"udwn/internal/geom"
+	"udwn/internal/metric"
+	"udwn/internal/model"
+	"udwn/internal/pathloss"
+	"udwn/internal/rng"
+	"udwn/internal/sensing"
+)
+
+// Config describes a simulation.
+type Config struct {
+	// Space is the quasi-metric the nodes live in.
+	Space metric.Space
+	// Model is the communication model resolving receptions.
+	Model model.Model
+	// P is the uniform transmit power.
+	P float64
+	// Zeta is the path-loss exponent (the space's metricity).
+	Zeta float64
+	// Noise is the ambient noise level (only the SINR decode rule uses it;
+	// sensing thresholds are noise free).
+	Noise float64
+	// Eps is the precision parameter ε defining the communication radius
+	// R_B and the default primitive thresholds.
+	Eps float64
+	// SenseEps is the precision used for the ACK/NTD thresholds; zero
+	// defaults to Eps. Bcast sets SenseEps = Eps/2 for its higher-precision
+	// primitives.
+	SenseEps float64
+	// Slots is the number of slots per round (1 or 2); zero defaults to 1.
+	Slots int
+	// Async enables locally-synchronous mode: each node owns a round period
+	// of 2-4 ticks with a random phase. Incompatible with Slots > 1.
+	Async bool
+	// Seed keys all randomness of the run.
+	Seed uint64
+	// Primitives selects the sensing primitives granted to protocols.
+	Primitives Primitives
+	// Adversary resolves under-specified outcomes; nil defaults to
+	// PessimisticAdversary.
+	Adversary Adversary
+	// Dynamic marks the space as mutable (mobility): power and neighbour
+	// caches are disabled so every slot reflects current distances.
+	Dynamic bool
+	// BusyScale scales the CD busy threshold. The paper's I_cd is "a
+	// constant" fixed by the analysis; the scale calibrates it (values < 1
+	// make carrier sensing more sensitive, lowering the contention
+	// equilibrium). Zero defaults to 1.
+	BusyScale float64
+	// AckScale scales the ACK interference threshold. Values > 1 stay
+	// within Def. ACK: the positive outcome still requires verified
+	// delivery, so loosening the threshold only resolves the definition's
+	// adversarial region favourably. Zero defaults to 1.
+	AckScale float64
+	// Channels is the number of orthogonal frequency channels (0 or 1 =
+	// single channel). Multi-channel operation splits contention: nodes
+	// tune per slot via Action.Channel and only same-channel transmissions
+	// interfere or are decodable. Incompatible with Async.
+	Channels int
+	// Observer, when non-nil, is invoked after every resolved slot with a
+	// summary event; used for tracing (see trace.JSONL) and live
+	// instrumentation. The event's slices alias scratch buffers.
+	Observer func(ev SlotEvent)
+	// TrackCoverage records cumulative pairwise receipts so experiments can
+	// measure *eventual* neighbourhood coverage (every neighbour received
+	// the node's message at least once, over any set of slots) in addition
+	// to atomic mass delivery. Costs O(n²) bits; used by the fading
+	// experiments, where per-slot atomic delivery is unrealistically strict.
+	TrackCoverage bool
+}
+
+// Sim is a running simulation. It is not safe for concurrent use.
+type Sim struct {
+	cfg   Config
+	n     int
+	field *pathloss.Field
+	th    sensing.Thresholds
+	rb    float64 // measurement neighbourhood radius, CommRadius(Eps)
+	rbAck float64 // ACK neighbourhood radius, CommRadius(SenseEps)
+
+	alive      []bool
+	nodes      []Node
+	protos     []Protocol
+	factory    ProtocolFactory
+	root       *rng.Source
+	generation []uint64
+	adv        Adversary
+
+	tick   int
+	slots  int
+	period []int
+	phase  []int
+
+	// neigh caches, per node, the out-neighbours within rbAck (the larger
+	// of the two radii); nil when the space is dynamic.
+	neigh [][]int32
+
+	// Measurements.
+	firstMass   []int32
+	firstDecode []int32
+	txCount     []int32
+	massCount   []int32
+	totalTx     int64
+	totalMass   int64
+
+	// Cumulative coverage (TrackCoverage only): covered[u*n+v] records that
+	// v decoded a transmission of u at least once; firstCover[u] is the
+	// tick at which u's alive RB-neighbourhood became fully covered.
+	covered    []bool
+	firstCover []int32
+
+	// Scratch buffers reused across slots.
+	txBuf      []int
+	actedBuf   []int
+	totalPower []float64
+	recvBuf    [][]Recv
+	massBuf    []bool
+	massAckBuf []bool
+	scaleBuf   []float64
+	chanBuf    []int8
+	chanTx     [][]int
+}
+
+// New constructs a simulation. Protocol instances for all nodes are created
+// immediately via factory; all nodes start alive.
+func New(cfg Config, factory ProtocolFactory) (*Sim, error) {
+	if cfg.Space == nil {
+		return nil, errors.New("sim: Config.Space is required")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("sim: Config.Model is required")
+	}
+	if factory == nil {
+		return nil, errors.New("sim: protocol factory is required")
+	}
+	if cfg.P <= 0 || cfg.Zeta <= 0 {
+		return nil, fmt.Errorf("sim: P and Zeta must be positive (got %v, %v)", cfg.P, cfg.Zeta)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("sim: Eps must be in (0,1), got %v", cfg.Eps)
+	}
+	if cfg.SenseEps == 0 {
+		cfg.SenseEps = cfg.Eps
+	}
+	if cfg.SenseEps <= 0 || cfg.SenseEps >= 1 {
+		return nil, fmt.Errorf("sim: SenseEps must be in (0,1), got %v", cfg.SenseEps)
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Slots < 1 || cfg.Slots > 4 {
+		return nil, fmt.Errorf("sim: Slots must be in [1,4], got %d", cfg.Slots)
+	}
+	if cfg.Async && cfg.Slots > 1 {
+		return nil, errors.New("sim: Async mode supports only single-slot rounds")
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	if cfg.Channels < 1 || cfg.Channels > 16 {
+		return nil, fmt.Errorf("sim: Channels must be in [1,16], got %d", cfg.Channels)
+	}
+	if cfg.Async && cfg.Channels > 1 {
+		return nil, errors.New("sim: multi-channel operation requires synchronous rounds")
+	}
+	if cfg.Adversary == nil {
+		cfg.Adversary = PessimisticAdversary{}
+	}
+
+	n := cfg.Space.Len()
+	s := &Sim{
+		cfg:         cfg,
+		n:           n,
+		field:       pathloss.NewField(cfg.Space, cfg.P, cfg.Zeta, pathloss.Options{Dynamic: cfg.Dynamic}),
+		rb:          cfg.Model.CommRadius(cfg.Eps),
+		rbAck:       cfg.Model.CommRadius(cfg.SenseEps),
+		alive:       make([]bool, n),
+		nodes:       make([]Node, n),
+		protos:      make([]Protocol, n),
+		factory:     factory,
+		root:        rng.New(cfg.Seed),
+		generation:  make([]uint64, n),
+		adv:         cfg.Adversary,
+		slots:       cfg.Slots,
+		firstMass:   make([]int32, n),
+		firstDecode: make([]int32, n),
+		txCount:     make([]int32, n),
+		massCount:   make([]int32, n),
+		totalPower:  make([]float64, n),
+		recvBuf:     make([][]Recv, n),
+		massBuf:     make([]bool, n),
+		massAckBuf:  make([]bool, n),
+	}
+	s.th = sensing.NewThresholds(cfg.P, cfg.Zeta, cfg.SenseEps, cfg.Model.R(), cfg.Model.Params())
+	if cfg.BusyScale > 0 {
+		s.th.BusyRSS *= cfg.BusyScale
+	}
+	if cfg.AckScale > 0 {
+		s.th.AckRSS *= cfg.AckScale
+	}
+
+	for i := 0; i < n; i++ {
+		s.alive[i] = true
+		s.nodes[i] = Node{ID: i, RNG: s.root.Fork(uint64(i))}
+		s.protos[i] = factory(i)
+		s.firstMass[i] = -1
+		s.firstDecode[i] = -1
+	}
+	if cfg.TrackCoverage {
+		s.covered = make([]bool, n*n)
+		s.firstCover = make([]int32, n)
+		for i := range s.firstCover {
+			s.firstCover[i] = -1
+		}
+	}
+	if cfg.Async {
+		s.period = make([]int, n)
+		s.phase = make([]int, n)
+		clk := s.root.Fork(^uint64(0))
+		for i := 0; i < n; i++ {
+			s.period[i] = 2 + clk.Intn(3) // {2,3,4}: rates within a factor 2
+			s.phase[i] = clk.Intn(s.period[i])
+		}
+	}
+	if !cfg.Dynamic {
+		s.buildNeighbours()
+	}
+	return s, nil
+}
+
+// buildNeighbours precomputes directed out-neighbour lists at radius rbAck.
+// Distances are static whenever the space is, even under churn, so the cache
+// survives Kill/Revive; liveness is filtered at use time.
+func (s *Sim) buildNeighbours() {
+	s.neigh = make([][]int32, s.n)
+	if e, ok := s.cfg.Space.(*metric.Euclidean); ok {
+		pts := make([]geom.Point, s.n)
+		for i := range pts {
+			pts[i] = e.Point(i)
+		}
+		grid := geom.NewGrid(pts, s.rbAck)
+		buf := make([]int, 0, 64)
+		for u := 0; u < s.n; u++ {
+			buf = grid.Within(pts[u], s.rbAck, buf[:0])
+			for _, v := range buf {
+				if v != u {
+					s.neigh[u] = append(s.neigh[u], int32(v))
+				}
+			}
+		}
+		return
+	}
+	for u := 0; u < s.n; u++ {
+		for v := 0; v < s.n; v++ {
+			if v != u && s.cfg.Space.Dist(u, v) <= s.rbAck {
+				s.neigh[u] = append(s.neigh[u], int32(v))
+			}
+		}
+	}
+}
+
+// N returns the number of node slots (alive or not).
+func (s *Sim) N() int { return s.n }
+
+// Tick returns the number of completed ticks.
+func (s *Sim) Tick() int { return s.tick }
+
+// Round returns the number of completed rounds (ticks divided by slots per
+// round; in async mode rounds are per node, so this is just ticks).
+func (s *Sim) Round() int { return s.tick / s.slots }
+
+// Model returns the communication model.
+func (s *Sim) Model() model.Model { return s.cfg.Model }
+
+// Space returns the quasi-metric space.
+func (s *Sim) Space() metric.Space { return s.cfg.Space }
+
+// CommRadius returns the dissemination neighbourhood radius R_B.
+func (s *Sim) CommRadius() float64 { return s.rb }
+
+// Thresholds returns the sensing thresholds in force.
+func (s *Sim) Thresholds() sensing.Thresholds { return s.th }
+
+// Alive reports whether node v is currently in the network.
+func (s *Sim) Alive(v int) bool { return s.alive[v] }
+
+// AliveCount returns the number of alive nodes.
+func (s *Sim) AliveCount() int {
+	c := 0
+	for _, a := range s.alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Protocol returns node v's protocol instance, for state inspection by
+// experiments.
+func (s *Sim) Protocol(v int) Protocol { return s.protos[v] }
+
+// Kill removes node v from the network (churn departure). Killing a dead
+// node is a no-op.
+func (s *Sim) Kill(v int) { s.alive[v] = false }
+
+// Revive returns node v to the network with a fresh protocol instance and a
+// fresh random stream, modelling a churn arrival that starts from the
+// algorithm's initial configuration.
+func (s *Sim) Revive(v int) {
+	if s.alive[v] {
+		return
+	}
+	s.alive[v] = true
+	s.generation[v]++
+	s.nodes[v] = Node{ID: v, RNG: s.root.Fork(uint64(v) ^ s.generation[v]<<40)}
+	s.protos[v] = s.factory(v)
+}
+
+// Move relocates node v (mobility edge dynamics). It requires a Euclidean
+// space constructed with Dynamic: true.
+func (s *Sim) Move(v int, p geom.Point) error {
+	if !s.cfg.Dynamic {
+		return errors.New("sim: Move requires Config.Dynamic")
+	}
+	e, ok := s.cfg.Space.(*metric.Euclidean)
+	if !ok {
+		return errors.New("sim: Move requires a Euclidean space")
+	}
+	e.SetPoint(v, p)
+	return nil
+}
+
+// FirstMassDelivery returns the tick at which node v first mass-delivered
+// (transmitted and every alive neighbour decoded), or -1.
+func (s *Sim) FirstMassDelivery(v int) int { return int(s.firstMass[v]) }
+
+// FirstDecode returns the tick at which node v first decoded any message,
+// or -1. For broadcast runs this is the moment v became informed.
+func (s *Sim) FirstDecode(v int) int { return int(s.firstDecode[v]) }
+
+// MarkInformed force-sets node v's first-decode tick if unset; used to seed
+// the broadcast source.
+func (s *Sim) MarkInformed(v int) {
+	if s.firstDecode[v] < 0 {
+		s.firstDecode[v] = int32(s.tick)
+	}
+}
+
+// Transmissions returns the number of transmissions node v has made.
+func (s *Sim) Transmissions(v int) int { return int(s.txCount[v]) }
+
+// TotalTransmissions returns the number of transmissions across all nodes.
+func (s *Sim) TotalTransmissions() int64 { return s.totalTx }
+
+// MassDeliveries returns how many times node v mass-delivered.
+func (s *Sim) MassDeliveries(v int) int { return int(s.massCount[v]) }
+
+// TotalMassDeliveries returns the total number of mass deliveries.
+func (s *Sim) TotalMassDeliveries() int64 { return s.totalMass }
+
+// Neighbors returns the alive out-neighbours of u at the measurement radius
+// R_B. The returned slice is freshly allocated.
+func (s *Sim) Neighbors(u int) []int {
+	var out []int
+	s.forEachNeighbor(u, s.rb, func(v int) {
+		out = append(out, v)
+	})
+	return out
+}
+
+// NeighborCount returns |N(u)| over alive nodes.
+func (s *Sim) NeighborCount(u int) int {
+	c := 0
+	s.forEachNeighbor(u, s.rb, func(int) { c++ })
+	return c
+}
+
+// forEachNeighbor visits all alive v != u with d(u,v) <= r, using the cache
+// when available (the cache holds radius rbAck ≥ rb ≥ any r we query).
+func (s *Sim) forEachNeighbor(u int, r float64, fn func(v int)) {
+	if s.neigh != nil && r <= s.rbAck {
+		for _, v := range s.neigh[u] {
+			if s.alive[v] && s.cfg.Space.Dist(u, int(v)) <= r {
+				fn(int(v))
+			}
+		}
+		return
+	}
+	for v := 0; v < s.n; v++ {
+		if v != u && s.alive[v] && s.cfg.Space.Dist(u, v) <= r {
+			fn(v)
+		}
+	}
+}
+
+// FirstFullCoverage returns the tick at which every alive R_B-neighbour of
+// u had cumulatively received u's transmission at least once, or -1. Only
+// available with Config.TrackCoverage.
+func (s *Sim) FirstFullCoverage(u int) int {
+	if s.firstCover == nil {
+		return -1
+	}
+	return int(s.firstCover[u])
+}
+
+// CoverageCount returns how many nodes have ever decoded a transmission of
+// u. Only available with Config.TrackCoverage.
+func (s *Sim) CoverageCount(u int) int {
+	if s.covered == nil {
+		return 0
+	}
+	c := 0
+	for v := 0; v < s.n; v++ {
+		if s.covered[u*s.n+v] {
+			c++
+		}
+	}
+	return c
+}
+
+// recordCoverage marks (u → v) and re-evaluates u's full-coverage tick.
+func (s *Sim) recordCoverage(u, v int) {
+	if s.covered == nil || s.covered[u*s.n+v] {
+		return
+	}
+	s.covered[u*s.n+v] = true
+	if s.firstCover[u] >= 0 {
+		return
+	}
+	full := true
+	s.forEachNeighbor(u, s.rb, func(w int) {
+		if !s.covered[u*s.n+w] {
+			full = false
+		}
+	})
+	if full {
+		s.firstCover[u] = int32(s.tick)
+	}
+}
+
+// Contention returns the sum of transmission probabilities of alive nodes
+// whose distance towards v is below radius (the paper's P^ρ_t(v) when
+// radius = ρR). Probabilities are read from protocols implementing
+// ProbReporter; others count as zero. Intended for instrumentation.
+func (s *Sim) Contention(v int, radius float64) float64 {
+	total := 0.0
+	for w := 0; w < s.n; w++ {
+		if w == v || !s.alive[w] {
+			continue
+		}
+		if s.cfg.Space.Dist(w, v) >= radius {
+			continue
+		}
+		if pr, ok := s.protos[w].(ProbReporter); ok {
+			total += pr.TransmitProb()
+		}
+	}
+	if pr, ok := s.protos[v].(ProbReporter); ok && s.alive[v] {
+		total += pr.TransmitProb()
+	}
+	return total
+}
+
+// ProbReporter is implemented by protocols that expose their current
+// transmission probability, enabling contention instrumentation.
+type ProbReporter interface {
+	TransmitProb() float64
+}

@@ -1,0 +1,346 @@
+package sim
+
+import "math"
+
+// slotView implements model.View over the current slot with cached
+// interference sums and lazily built within-radius counts.
+type slotView struct {
+	s  *Sim
+	tx []int
+	// total[v] is Σ_w Power(w,v) over transmitters w (own signal excluded
+	// automatically since Power(v,v) = 0).
+	total []float64
+	// scale holds per-node transmission power scales (1 for unscaled).
+	scale []float64
+	// cnt caches TransmittersWithin vectors per radius; models use at most
+	// two distinct radii, so a tiny linear store beats a map.
+	cntRadii [2]float64
+	cnt      [2][]int16
+	cntN     int
+}
+
+func (vw *slotView) Transmitters() []int { return vw.tx }
+func (vw *slotView) Power(w, v int) float64 {
+	p := vw.s.field.Power(w, v)
+	if vw.scale != nil {
+		p *= vw.scale[w]
+	}
+	return p
+}
+func (vw *slotView) Dist(u, v int) float64    { return vw.s.cfg.Space.Dist(u, v) }
+func (vw *slotView) TotalPower(v int) float64 { return vw.total[v] }
+
+func (vw *slotView) TransmittersWithin(v int, r float64, excluding int) int {
+	for i := 0; i < vw.cntN; i++ {
+		if vw.cntRadii[i] == r {
+			return vw.adjust(int(vw.cnt[i][v]), v, r, excluding)
+		}
+	}
+	if vw.cntN < len(vw.cnt) {
+		// Build the full count vector for this radius in one pass.
+		counts := make([]int16, vw.s.n)
+		for _, w := range vw.tx {
+			for v2 := 0; v2 < vw.s.n; v2++ {
+				if v2 != w && vw.s.cfg.Space.Dist(w, v2) <= r {
+					counts[v2]++
+				}
+			}
+		}
+		vw.cntRadii[vw.cntN] = r
+		vw.cnt[vw.cntN] = counts
+		vw.cntN++
+		return vw.adjust(int(counts[v]), v, r, excluding)
+	}
+	// Fallback: direct count (should not happen with the shipped models).
+	n := 0
+	for _, w := range vw.tx {
+		if w == v || w == excluding {
+			continue
+		}
+		if vw.s.cfg.Space.Dist(w, v) <= r {
+			n++
+		}
+	}
+	return n
+}
+
+func (vw *slotView) adjust(count, v int, r float64, excluding int) int {
+	if excluding >= 0 && excluding != v && vw.s.cfg.Space.Dist(excluding, v) <= r {
+		// Only subtract if the excluded node is actually transmitting.
+		for _, w := range vw.tx {
+			if w == excluding {
+				count--
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Step advances the simulation by one tick (one slot).
+func (s *Sim) Step() {
+	slot := s.tick % s.slots
+
+	// Phase 1: collect actions from acting nodes.
+	nChan := s.cfg.Channels
+	s.actedBuf = s.actedBuf[:0]
+	s.txBuf = s.txBuf[:0]
+	if s.scaleBuf == nil {
+		s.scaleBuf = make([]float64, s.n)
+		s.chanBuf = make([]int8, s.n)
+		s.chanTx = make([][]int, nChan)
+	}
+	for c := range s.chanTx {
+		s.chanTx[c] = s.chanTx[c][:0]
+	}
+	transmitted := make(map[int]Message, 8)
+	for v := 0; v < s.n; v++ {
+		s.scaleBuf[v] = 1
+		s.chanBuf[v] = 0
+		if !s.alive[v] || !s.actsThisTick(v) {
+			continue
+		}
+		s.actedBuf = append(s.actedBuf, v)
+		act := s.protos[v].Act(&s.nodes[v], slot)
+		if nChan > 1 && act.Channel > 0 {
+			if act.Channel >= nChan {
+				act.Channel = nChan - 1
+			}
+			s.chanBuf[v] = int8(act.Channel)
+		}
+		if act.Transmit {
+			act.Msg.Src = v
+			transmitted[v] = act.Msg
+			s.txBuf = append(s.txBuf, v)
+			s.chanTx[s.chanBuf[v]] = append(s.chanTx[s.chanBuf[v]], v)
+			s.txCount[v]++
+			s.totalTx++
+			if act.PowerScale > 0 && act.PowerScale != 1 {
+				s.scaleBuf[v] = act.PowerScale
+			}
+		}
+	}
+
+	// Phase 2: interference field (power scales applied). totalPower[v] is
+	// the interference on v's tuned channel: only same-channel
+	// transmissions reach a tuned radio.
+	for v := 0; v < s.n; v++ {
+		s.totalPower[v] = 0
+	}
+	for _, w := range s.txBuf {
+		sc := s.scaleBuf[w]
+		wc := s.chanBuf[w]
+		for v := 0; v < s.n; v++ {
+			if s.chanBuf[v] == wc {
+				s.totalPower[v] += s.field.Power(w, v) * sc
+			}
+		}
+	}
+	// One view per channel; with a single channel this is the old view.
+	views := make([]*slotView, nChan)
+	for c := 0; c < nChan; c++ {
+		tx := s.txBuf
+		if nChan > 1 {
+			tx = s.chanTx[c]
+		}
+		views[c] = &slotView{s: s, tx: tx, total: s.totalPower, scale: s.scaleBuf}
+	}
+
+	// Phase 3: receptions for every alive, non-transmitting listener.
+	for v := 0; v < s.n; v++ {
+		s.recvBuf[v] = s.recvBuf[v][:0]
+	}
+	mdl := s.cfg.Model
+	for v := 0; v < s.n; v++ {
+		if !s.alive[v] {
+			continue
+		}
+		if _, isTx := transmitted[v]; isTx {
+			continue // half-duplex
+		}
+		vw := views[s.chanBuf[v]]
+		for _, u := range vw.tx {
+			// A power-scaled transmission is decodable only within the
+			// reduced range scale^{1/ζ}·R (exact for SINR, and the defining
+			// cutoff for models without a power notion).
+			if s.scaleBuf[u] < 1 {
+				maxRange := math.Pow(s.scaleBuf[u], 1/s.cfg.Zeta) * mdl.R()
+				if s.cfg.Space.Dist(u, v) > maxRange {
+					continue
+				}
+			}
+			if mdl.Decodes(vw, u, v) {
+				s.recvBuf[v] = append(s.recvBuf[v], Recv{
+					From: u,
+					Msg:  transmitted[u],
+					RSS:  s.field.Power(u, v) * s.scaleBuf[u],
+				})
+			}
+		}
+		if len(s.recvBuf[v]) > 0 {
+			if s.firstDecode[v] < 0 {
+				s.firstDecode[v] = int32(s.tick)
+			}
+			for _, rc := range s.recvBuf[v] {
+				s.recordCoverage(rc.From, v)
+			}
+		}
+	}
+
+	// Phase 4: ground-truth delivery per transmitter, at both the
+	// measurement radius R_B(Eps) and the ACK radius R_B(SenseEps).
+	for _, u := range s.txBuf {
+		mass, massAck := true, true
+		s.forEachNeighbor(u, s.rbAck, func(v int) {
+			got := false
+			for _, rc := range s.recvBuf[v] {
+				if rc.From == u {
+					got = true
+					break
+				}
+			}
+			if !got {
+				massAck = false
+				if s.cfg.Space.Dist(u, v) <= s.rb {
+					mass = false
+				}
+			}
+		})
+		// If rb > rbAck (never with SenseEps <= Eps, but be safe), fall back
+		// to an explicit check at rb.
+		if s.rb > s.rbAck {
+			mass = true
+			s.forEachNeighbor(u, s.rb, func(v int) {
+				ok := false
+				for _, rc := range s.recvBuf[v] {
+					if rc.From == u {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					mass = false
+				}
+			})
+		}
+		s.massBuf[u] = mass
+		s.massAckBuf[u] = massAck
+		if mass {
+			s.massCount[u]++
+			s.totalMass++
+			if s.firstMass[u] < 0 {
+				s.firstMass[u] = int32(s.tick)
+			}
+			// An atomic mass delivery covers the whole neighbourhood by
+			// itself — including the vacuous case of a node with no alive
+			// neighbours, which produces no receipt records.
+			if s.firstCover != nil && s.firstCover[u] < 0 {
+				s.firstCover[u] = int32(s.tick)
+			}
+		}
+	}
+
+	// Phase 5: observations for acting nodes, passive receipts for others.
+	prim := s.cfg.Primitives
+	for _, v := range s.actedBuf {
+		if !s.alive[v] {
+			continue // killed mid-tick by nothing today, but stay safe
+		}
+		_, isTx := transmitted[v]
+		obs := Observation{
+			Tick:        s.tick,
+			Slot:        slot,
+			Transmitted: isTx,
+		}
+		if !isTx {
+			obs.Received = s.recvBuf[v]
+		}
+		if prim.Has(CD) {
+			obs.Busy = s.th.Busy(s.totalPower[v])
+		}
+		if isTx {
+			switch {
+			case prim.Has(FreeAck):
+				obs.Acked = s.massAckBuf[v]
+			case prim.Has(ACK):
+				obs.Acked = s.ackOutcome(v)
+			}
+		}
+		if prim.Has(NTD) && !isTx {
+			for _, rc := range obs.Received {
+				if s.th.Near(rc.RSS) {
+					obs.NTD = true
+					break
+				}
+			}
+		}
+		s.protos[v].Observe(&s.nodes[v], slot, &obs)
+	}
+	if s.cfg.Async {
+		for v := 0; v < s.n; v++ {
+			if !s.alive[v] || len(s.recvBuf[v]) == 0 || s.actedThisTick(v) {
+				continue
+			}
+			if h, ok := s.protos[v].(Hearer); ok {
+				h.Hear(&s.nodes[v], s.recvBuf[v])
+			}
+		}
+	}
+
+	if s.cfg.Observer != nil {
+		ev := SlotEvent{Tick: s.tick, Slot: slot, Transmitters: s.txBuf}
+		for v := 0; v < s.n; v++ {
+			ev.Decodes += len(s.recvBuf[v])
+		}
+		for _, u := range s.txBuf {
+			if s.massBuf[u] {
+				ev.MassDeliverers = append(ev.MassDeliverers, u)
+			}
+		}
+		s.cfg.Observer(ev)
+	}
+
+	s.tick++
+}
+
+// ackOutcome applies Def. ACK for transmitter u: sensed interference within
+// the threshold and full delivery yields 1; a missed neighbour yields 0;
+// the remaining case is adversarial.
+func (s *Sim) ackOutcome(u int) bool {
+	if !s.massAckBuf[u] {
+		return false
+	}
+	if s.th.AckClear(s.totalPower[u]) {
+		return true
+	}
+	return s.adv.AckAmbiguous(u, s.tick)
+}
+
+func (s *Sim) actsThisTick(v int) bool {
+	if !s.cfg.Async {
+		return true
+	}
+	return (s.tick-s.phase[v])%s.period[v] == 0 && s.tick >= s.phase[v]
+}
+
+func (s *Sim) actedThisTick(v int) bool { return s.actsThisTick(v) }
+
+// Run advances the simulation by ticks ticks.
+func (s *Sim) Run(ticks int) {
+	for i := 0; i < ticks; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil steps the simulation until pred returns true or maxTicks elapse,
+// returning the number of ticks executed and whether pred was satisfied.
+// pred is evaluated after every tick.
+func (s *Sim) RunUntil(pred func(*Sim) bool, maxTicks int) (int, bool) {
+	for i := 0; i < maxTicks; i++ {
+		s.Step()
+		if pred(s) {
+			return i + 1, true
+		}
+	}
+	return maxTicks, false
+}

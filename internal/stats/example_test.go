@@ -1,0 +1,30 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"udwn/internal/stats"
+)
+
+// ExampleTable renders a small result table.
+func ExampleTable() {
+	t := stats.NewTable("Demo", "n", "rounds")
+	t.AddRowf(128, 206.0)
+	t.AddRowf(256, 246.4)
+	t.AddNote("two rows")
+	fmt.Print(t)
+	// Output:
+	// Demo
+	// n    rounds
+	// ------------
+	// 128  206.0
+	// 256  246.4
+	// note: two rows
+}
+
+// ExampleSummarize computes order statistics of a sample.
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 100})
+	fmt.Println(s.N, s.Median, s.Max)
+	// Output: 5 3 100
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"udwn/internal/rng"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize must not sort its input in place")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9}
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = (%v, %v)", slope, intercept)
+	}
+	// Degenerate x: slope 0, intercept = mean(y).
+	slope, intercept = LinearFit([]float64{5, 5}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Fatalf("degenerate fit = (%v, %v)", slope, intercept)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{2})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "col1", "column2")
+	tb.AddRow("a", "b")
+	tb.AddRowf(42, 3.14159)
+	tb.AddNote("footnote %d", 7)
+	out := tb.String()
+	for _, want := range []string{"My Title", "col1", "column2", "a", "42", "3.1", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line at least as wide as the header line's
+	// first column width.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestTableAddRowfTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf("s", 1.5, 7, int64(9))
+	if got := tb.Rows[0]; got[0] != "s" || got[1] != "1.5" || got[2] != "7" || got[3] != "9" {
+		t.Fatalf("row = %v", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-100, 100)
+		}
+		sort.Float64s(xs)
+		prev := xs[0]
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 || v < xs[0] || v > xs[n-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize invariants min ≤ median ≤ p95 ≤ max and mean within
+// [min, max].
+func TestSummarizeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-1000, 1000)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.P95+1e-9 && s.P95 <= s.Max &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"udwn/internal/sim"
+)
+
+// JSONL streams simulator slot events as JSON Lines, one event per line —
+// the interchange format for post-hoc analysis and replay inspection.
+// Silent slots (no transmissions and no decodes) are skipped unless
+// KeepSilent is set.
+type JSONL struct {
+	w          *bufio.Writer
+	enc        *json.Encoder
+	err        error
+	n          int
+	KeepSilent bool
+}
+
+// NewJSONL returns a recorder writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record writes one event; wire it to sim.Config.Observer. Errors are
+// sticky and reported by Flush.
+func (j *JSONL) Record(ev sim.SlotEvent) {
+	if j.err != nil {
+		return
+	}
+	if !j.KeepSilent && len(ev.Transmitters) == 0 && ev.Decodes == 0 {
+		return
+	}
+	j.n++
+	j.err = j.enc.Encode(ev)
+}
+
+// Events returns the number of events written so far.
+func (j *JSONL) Events() int { return j.n }
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return fmt.Errorf("trace: record: %w", j.err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON Lines trace back into events.
+func ReadJSONL(r io.Reader) ([]sim.SlotEvent, error) {
+	var events []sim.SlotEvent
+	dec := json.NewDecoder(r)
+	for {
+		var ev sim.SlotEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return events, fmt.Errorf("trace: decode event %d: %w", len(events), err)
+		}
+		events = append(events, ev)
+	}
+}

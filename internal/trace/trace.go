@@ -1,0 +1,105 @@
+// Package trace records per-run time series (contention, informed counts,
+// probability mass) used by the figure-shaped experiments.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) samples.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value of the last sample with X <= x, or 0 when none
+// exists. Samples must have been added with non-decreasing X.
+func (s *Series) YAt(x float64) float64 {
+	y := 0.0
+	for i := range s.X {
+		if s.X[i] > x {
+			break
+		}
+		y = s.Y[i]
+	}
+	return y
+}
+
+// MaxY returns the largest y value, or 0 for an empty series.
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for i, y := range s.Y {
+		if i == 0 || y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Plot is a set of series sharing an x axis, rendered as aligned text
+// columns (one x column, one y column per series) so results can be read
+// directly or piped into a plotting tool.
+type Plot struct {
+	Title  string
+	XLabel string
+	Series []*Series
+	Notes  []string
+}
+
+// NewPlot creates an empty plot.
+func NewPlot(title, xlabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel}
+}
+
+// NewSeries adds a fresh series to the plot and returns it.
+func (p *Plot) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	p.Series = append(p.Series, s)
+	return s
+}
+
+// AddNote appends a footnote line.
+func (p *Plot) AddNote(format string, args ...interface{}) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the plot as a text table over the union of sample points of
+// the first series (series are expected to share x grids; YAt interpolates
+// step-wise otherwise).
+func (p *Plot) String() string {
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "%-12s", p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, "  %-14s", s.Name)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 12+16*len(p.Series)))
+	b.WriteByte('\n')
+	if len(p.Series) > 0 {
+		for _, x := range p.Series[0].X {
+			fmt.Fprintf(&b, "%-12.6g", x)
+			for _, s := range p.Series {
+				fmt.Fprintf(&b, "  %-14.6g", s.YAt(x))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range p.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndLen(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(3, 30)
+	s.Add(5, 50)
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 10}, {2, 10}, {3, 30}, {4, 30}, {5, 50}, {99, 50},
+	}
+	for _, c := range cases {
+		if got := s.YAt(c.x); got != c.want {
+			t.Fatalf("YAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSeriesMaxY(t *testing.T) {
+	var s Series
+	if s.MaxY() != 0 {
+		t.Fatal("empty MaxY != 0")
+	}
+	s.Add(1, -5)
+	s.Add(2, -2)
+	if s.MaxY() != -2 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	p := NewPlot("Title Here", "round")
+	a := p.NewSeries("alpha")
+	b := p.NewSeries("beta")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 100)
+	b.Add(2, 200)
+	p.AddNote("a note %s", "x")
+	out := p.String()
+	for _, want := range []string{"Title Here", "round", "alpha", "beta", "10", "200", "note: a note x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot output missing %q:\n%s", want, out)
+		}
+	}
+	// One data line per x of the first series plus header/sep/notes.
+	if got := strings.Count(out, "\n"); got < 5 {
+		t.Fatalf("too few lines: %d", got)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("t", "x")
+	if out := p.String(); !strings.Contains(out, "t") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}

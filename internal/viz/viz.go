@@ -1,0 +1,148 @@
+// Package viz renders deployments and dissemination outcomes as SVG, using
+// only the standard library. The renderings are diagnostic: node positions,
+// communication edges at R_B, per-node state colours (informed time as a
+// gradient, dominator roles, dead nodes), and optional range circles.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"udwn/internal/geom"
+)
+
+// NodeStyle selects how one node is drawn.
+type NodeStyle struct {
+	// Fill is the CSS colour of the node disc.
+	Fill string
+	// Radius is the disc radius in world units; 0 selects a default.
+	Radius float64
+	// Label is an optional text annotation.
+	Label string
+	// Ring, when non-zero, draws a circle of this world-unit radius around
+	// the node (e.g. the communication range).
+	Ring float64
+}
+
+// Scene is a renderable set of nodes and edges.
+type Scene struct {
+	pts    []geom.Point
+	styles []NodeStyle
+	edges  [][2]int
+	title  string
+}
+
+// NewScene creates a scene over the given points; all nodes start with a
+// neutral style.
+func NewScene(pts []geom.Point, title string) *Scene {
+	s := &Scene{
+		pts:    append([]geom.Point(nil), pts...),
+		styles: make([]NodeStyle, len(pts)),
+		title:  title,
+	}
+	for i := range s.styles {
+		s.styles[i] = NodeStyle{Fill: "#888"}
+	}
+	return s
+}
+
+// Style sets node i's style.
+func (s *Scene) Style(i int, st NodeStyle) {
+	if st.Fill == "" {
+		st.Fill = "#888"
+	}
+	s.styles[i] = st
+}
+
+// Edge adds an undirected edge line between nodes u and v.
+func (s *Scene) Edge(u, v int) { s.edges = append(s.edges, [2]int{u, v}) }
+
+// EdgesWithin adds edges between all pairs within distance r. O(n²);
+// intended for diagnostic renders of moderate deployments.
+func (s *Scene) EdgesWithin(r float64) {
+	for u := range s.pts {
+		for v := u + 1; v < len(s.pts); v++ {
+			if s.pts[u].Dist(s.pts[v]) <= r {
+				s.Edge(u, v)
+			}
+		}
+	}
+}
+
+// HeatColor maps x ∈ [0,1] onto a blue→red gradient, for informed-time
+// colouring. Values outside [0,1] are clamped.
+func HeatColor(x float64) string {
+	if math.IsNaN(x) {
+		x = 0
+	}
+	x = math.Max(0, math.Min(1, x))
+	r := int(40 + 215*x)
+	b := int(255 - 215*x)
+	return fmt.Sprintf("#%02x50%02x", r, b)
+}
+
+// Render writes the scene as a standalone SVG document.
+func (s *Scene) Render(w io.Writer) error {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range s.pts {
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	if len(s.pts) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	span := math.Max(maxX-minX, maxY-minY)
+	if span == 0 {
+		span = 1
+	}
+	pad := span * 0.05
+	nodeR := span / 120
+
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="800" height="800" viewBox="%.3f %.3f %.3f %.3f">`+"\n",
+		minX-pad, minY-pad, (maxX-minX)+2*pad, (maxY-minY)+2*pad)
+	fmt.Fprintf(&b, `<rect x="%.3f" y="%.3f" width="%.3f" height="%.3f" fill="white"/>`+"\n",
+		minX-pad, minY-pad, (maxX-minX)+2*pad, (maxY-minY)+2*pad)
+	if s.title != "" {
+		fmt.Fprintf(&b, `<title>%s</title>`+"\n", escape(s.title))
+	}
+	for _, e := range s.edges {
+		p, q := s.pts[e[0]], s.pts[e[1]]
+		fmt.Fprintf(&b,
+			`<line x1="%.3f" y1="%.3f" x2="%.3f" y2="%.3f" stroke="#ddd" stroke-width="%.3f"/>`+"\n",
+			p.X, p.Y, q.X, q.Y, nodeR/3)
+	}
+	for i, p := range s.pts {
+		st := s.styles[i]
+		if st.Ring > 0 {
+			fmt.Fprintf(&b,
+				`<circle cx="%.3f" cy="%.3f" r="%.3f" fill="none" stroke="#bbb" stroke-width="%.3f" stroke-dasharray="%.3f"/>`+"\n",
+				p.X, p.Y, st.Ring, nodeR/4, nodeR)
+		}
+		r := st.Radius
+		if r == 0 {
+			r = nodeR
+		}
+		fmt.Fprintf(&b, `<circle cx="%.3f" cy="%.3f" r="%.3f" fill="%s"/>`+"\n",
+			p.X, p.Y, r, st.Fill)
+		if st.Label != "" {
+			fmt.Fprintf(&b, `<text x="%.3f" y="%.3f" font-size="%.3f" fill="#333">%s</text>`+"\n",
+				p.X+1.2*r, p.Y-1.2*r, 3*nodeR, escape(st.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("viz: render: %w", err)
+	}
+	return nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

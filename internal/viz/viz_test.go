@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udwn/internal/geom"
+)
+
+func TestRenderBasics(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}}
+	s := NewScene(pts, "triangle")
+	s.Style(0, NodeStyle{Fill: "#ff0000", Label: "src", Ring: 4})
+	s.Edge(0, 1)
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<title>triangle</title>", "#ff0000", "src",
+		"<line", "stroke-dasharray",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "<circle"); got != 4 { // 3 nodes + 1 ring
+		t.Fatalf("circle count = %d, want 4", got)
+	}
+}
+
+func TestRenderEmptyScene(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewScene(nil, "").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("empty scene must still produce a document")
+	}
+}
+
+func TestEdgesWithin(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 10, Y: 0}}
+	s := NewScene(pts, "")
+	s.EdgesWithin(2)
+	if len(s.edges) != 1 || s.edges[0] != [2]int{0, 1} {
+		t.Fatalf("edges = %v", s.edges)
+	}
+}
+
+func TestHeatColor(t *testing.T) {
+	cold := HeatColor(0)
+	hot := HeatColor(1)
+	if cold == hot {
+		t.Fatal("gradient endpoints must differ")
+	}
+	if HeatColor(-5) != cold || HeatColor(7) != hot {
+		t.Fatal("out-of-range values must clamp")
+	}
+	if !strings.HasPrefix(cold, "#") || len(cold) != 7 {
+		t.Fatalf("malformed colour %q", cold)
+	}
+	// NaN clamps to cold rather than producing garbage.
+	if HeatColor(nan()) != cold {
+		t.Fatal("NaN must clamp")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestEscape(t *testing.T) {
+	s := NewScene([]geom.Point{{X: 0, Y: 0}}, `a<b>&"c"`)
+	s.Style(0, NodeStyle{Label: "<x>"})
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<b>") || strings.Contains(out, "<x>") {
+		t.Fatal("markup not escaped")
+	}
+	if !strings.Contains(out, "&lt;x&gt;") {
+		t.Fatal("escaped label missing")
+	}
+}
+
+func TestStyleDefaultFill(t *testing.T) {
+	s := NewScene([]geom.Point{{X: 0, Y: 0}}, "")
+	s.Style(0, NodeStyle{}) // empty fill defaults
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#888") {
+		t.Fatal("default fill missing")
+	}
+}

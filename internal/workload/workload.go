@@ -1,0 +1,222 @@
+// Package workload generates the network topologies the experiments run on:
+// uniform random deployments (with degree control), grids, clustered fields,
+// strips and chains (with diameter control), random geometric graphs for the
+// BIG model, and the Theorem 5.3 lower-bound instance.
+package workload
+
+import (
+	"math"
+
+	"udwn/internal/geom"
+	"udwn/internal/metric"
+	"udwn/internal/rng"
+)
+
+// UniformDisc returns n points uniform in the [0, side]² square.
+func UniformDisc(n int, side float64, seed uint64) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
+	}
+	return pts
+}
+
+// SideForDegree returns the square side for which a uniform deployment of n
+// nodes has expected neighbourhood size ≈ delta at communication radius rb.
+func SideForDegree(n, delta int, rb float64) float64 {
+	if delta < 1 {
+		delta = 1
+	}
+	return math.Sqrt(float64(n) * math.Pi * rb * rb / float64(delta))
+}
+
+// UniformBox3 returns n points uniform in the [0, side]³ cube, for
+// volumetric (λ = 3) deployments.
+func UniformBox3(n int, side float64, seed uint64) [][3]float64 {
+	r := rng.New(seed)
+	pts := make([][3]float64, n)
+	for i := range pts {
+		pts[i] = [3]float64{r.Range(0, side), r.Range(0, side), r.Range(0, side)}
+	}
+	return pts
+}
+
+// SideForDegree3 returns the cube side for which a uniform 3-D deployment
+// of n nodes has expected neighbourhood size ≈ delta at radius rb.
+func SideForDegree3(n, delta int, rb float64) float64 {
+	if delta < 1 {
+		delta = 1
+	}
+	return math.Cbrt(float64(n) * 4 / 3 * math.Pi * rb * rb * rb / float64(delta))
+}
+
+// Grid returns rows×cols points on a lattice with the given spacing.
+func Grid(rows, cols int, spacing float64) []geom.Point {
+	pts := make([]geom.Point, 0, rows*cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			pts = append(pts, geom.Point{X: float64(x) * spacing, Y: float64(y) * spacing})
+		}
+	}
+	return pts
+}
+
+// Clustered returns n points grouped into clusters: cluster centres uniform
+// in [0, side]², members Gaussian around their centre with the given spread.
+// Clustered fields stress contention balancing with highly non-uniform
+// density.
+func Clustered(n, clusters int, spread, side float64, seed uint64) []geom.Point {
+	if clusters < 1 {
+		clusters = 1
+	}
+	r := rng.New(seed)
+	centres := make([]geom.Point, clusters)
+	for i := range centres {
+		centres[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centres[i%clusters]
+		pts[i] = geom.Point{
+			X: clampTo(c.X+spread*r.Norm(), side),
+			Y: clampTo(c.Y+spread*r.Norm(), side),
+		}
+	}
+	return pts
+}
+
+func clampTo(x, side float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > side {
+		return side
+	}
+	return x
+}
+
+// Strip returns n points uniform in a [0, length]×[0, width] strip. With
+// width on the order of the communication radius, the hop diameter grows
+// linearly with length, giving diameter-controlled broadcast workloads.
+func Strip(n int, length, width float64, seed uint64) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, length), Y: r.Range(0, width)}
+	}
+	return pts
+}
+
+// Chain returns n points on a line with the given spacing — the minimal
+// diameter-n workload.
+func Chain(n int, spacing float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * spacing}
+	}
+	return pts
+}
+
+// GeometricGraph returns the adjacency lists of the geometric graph on pts
+// with the given connection radius, used to derive BIG-model instances.
+func GeometricGraph(pts []geom.Point, radius float64) [][]int {
+	adj := make([][]int, len(pts))
+	grid := geom.NewGrid(pts, radius)
+	buf := make([]int, 0, 64)
+	for u := range pts {
+		buf = grid.Within(pts[u], radius, buf[:0])
+		for _, v := range buf {
+			if v != u {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	return adj
+}
+
+// HopDiameter returns the eccentricity structure of the geometric graph on a
+// Euclidean deployment at radius rb: the hop distance from src to every node
+// (-1 when unreachable) and the maximum over reachable nodes.
+func HopDiameter(pts []geom.Point, rb float64, src int) (dist []int, diam int) {
+	adj := GeometricGraph(pts, rb)
+	dist = make([]int, len(pts))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				if dist[v] > diam {
+					diam = dist[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, diam
+}
+
+// Connected reports whether the geometric graph on pts at radius rb is
+// connected.
+func Connected(pts []geom.Point, rb float64) bool {
+	if len(pts) == 0 {
+		return true
+	}
+	dist, _ := HopDiameter(pts, rb, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// LowerBoundInstance is the Theorem 5.3 construction (Fig. 1a): an
+// (εR/8, 1)-bounded-independence quasi-metric in which broadcast without the
+// NTD primitive needs Ω(n) rounds while the network is O(1)-broadcastable.
+type LowerBoundInstance struct {
+	// Space is the explicit distance matrix.
+	Space *metric.Matrix
+	// Bridge is the index of v_{n-1}, the unique node adjacent to the sink.
+	Bridge int
+	// Sink is the index of v_n, reachable only through Bridge.
+	Sink int
+	// Cluster lists the indices of v_1..v_{n-2}, the mutually close nodes.
+	Cluster []int
+}
+
+// LowerBound builds the Theorem 5.3 instance over n nodes for communication
+// radius r and precision eps: cluster nodes pairwise at εR/8 = δ·R_B,
+// cluster–bridge at μ·R_B, bridge–sink at R_B and cluster–sink at (μ+1)·R_B,
+// with μ = ε(1+ε)/(1−ε) < 1. It panics if n < 3 or eps is outside (0, 0.5].
+func LowerBound(n int, r, eps float64) *LowerBoundInstance {
+	if n < 3 {
+		panic("workload: lower bound instance needs n >= 3")
+	}
+	if eps <= 0 || eps > 0.5 {
+		panic("workload: lower bound instance needs eps in (0, 0.5]")
+	}
+	rb := (1 - eps) * r
+	delta := eps / (8 * (1 - eps))
+	mu := eps * (1 + eps) / (1 - eps)
+
+	m := metric.NewMatrix(n, (mu+1)*rb)
+	bridge, sink := n-2, n-1
+	cluster := make([]int, 0, n-2)
+	for i := 0; i < n-2; i++ {
+		cluster = append(cluster, i)
+		for j := i + 1; j < n-2; j++ {
+			m.SetSym(i, j, delta*rb)
+		}
+		m.SetSym(i, bridge, mu*rb)
+		m.SetSym(i, sink, (mu+1)*rb)
+	}
+	m.SetSym(bridge, sink, rb)
+	return &LowerBoundInstance{Space: m, Bridge: bridge, Sink: sink, Cluster: cluster}
+}

@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"udwn/internal/geom"
+	"udwn/internal/metric"
+)
+
+func TestUniformDiscBounds(t *testing.T) {
+	pts := UniformDisc(500, 40, 1)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 40 || p.Y < 0 || p.Y >= 40 {
+			t.Fatalf("point out of bounds: %v", p)
+		}
+	}
+}
+
+func TestUniformDiscDeterministic(t *testing.T) {
+	a := UniformDisc(50, 10, 7)
+	b := UniformDisc(50, 10, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same deployment")
+		}
+	}
+	c := UniformDisc(50, 10, 8)
+	if a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSideForDegreeCalibration(t *testing.T) {
+	// Empirically verify that SideForDegree yields roughly the target
+	// average degree.
+	const n, target = 2000, 20
+	rb := 9.0
+	side := SideForDegree(n, target, rb)
+	pts := UniformDisc(n, side, 3)
+	grid := geom.NewGrid(pts, rb)
+	sum := 0.0
+	for i := range pts {
+		sum += float64(grid.CountWithin(pts[i], rb) - 1)
+	}
+	avg := sum / n
+	// Boundary effects push the realised degree slightly below target.
+	if avg < 0.6*target || avg > 1.3*target {
+		t.Fatalf("realised degree %.1f, want ≈ %d", avg, target)
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	pts := Grid(3, 4, 2)
+	if len(pts) != 12 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0] != (geom.Point{X: 0, Y: 0}) || pts[11] != (geom.Point{X: 6, Y: 4}) {
+		t.Fatalf("corners wrong: %v ... %v", pts[0], pts[11])
+	}
+}
+
+func TestClusteredWithinBounds(t *testing.T) {
+	pts := Clustered(300, 5, 2, 50, 4)
+	if len(pts) != 300 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 50 || p.Y < 0 || p.Y > 50 {
+			t.Fatalf("point out of bounds: %v", p)
+		}
+	}
+	// Clustering: the mean nearest-neighbour distance should be well below
+	// that of a uniform deployment of the same density.
+	if nnMean(pts) > nnMean(UniformDisc(300, 50, 4)) {
+		t.Fatal("clustered field is not denser locally than uniform")
+	}
+}
+
+func nnMean(pts []geom.Point) float64 {
+	total := 0.0
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i != j {
+				if d := p.Dist(q); d < best {
+					best = d
+				}
+			}
+		}
+		total += best
+	}
+	return total / float64(len(pts))
+}
+
+func TestStripAndChain(t *testing.T) {
+	pts := Strip(100, 200, 5, 6)
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 200 || p.Y < 0 || p.Y >= 5 {
+			t.Fatalf("strip point out of bounds: %v", p)
+		}
+	}
+	chain := Chain(5, 3)
+	if chain[4] != (geom.Point{X: 12, Y: 0}) {
+		t.Fatalf("chain spacing wrong: %v", chain[4])
+	}
+}
+
+func TestGeometricGraphSymmetric(t *testing.T) {
+	pts := UniformDisc(100, 30, 8)
+	adj := GeometricGraph(pts, 5)
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			if pts[u].Dist(pts[v]) > 5 {
+				t.Fatalf("edge (%d,%d) beyond radius", u, v)
+			}
+			found := false
+			for _, w := range adj[v] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestHopDiameterChain(t *testing.T) {
+	pts := Chain(10, 1)
+	dist, diam := HopDiameter(pts, 1.5, 0)
+	if diam != 9 {
+		t.Fatalf("chain diameter = %d, want 9", diam)
+	}
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("dist[%d] = %d", i, d)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Connected(Chain(10, 1), 1.5) {
+		t.Fatal("chain with spacing 1 must be connected at r=1.5")
+	}
+	if Connected(Chain(10, 2), 1.5) {
+		t.Fatal("chain with spacing 2 must be disconnected at r=1.5")
+	}
+	if !Connected(nil, 1) {
+		t.Fatal("empty deployment is trivially connected")
+	}
+}
+
+func TestLowerBoundGeometry(t *testing.T) {
+	const n = 32
+	r, eps := 10.0, 0.1
+	inst := LowerBound(n, r, eps)
+	rb := (1 - eps) * r
+	mu := eps * (1 + eps) / (1 - eps)
+
+	if inst.Bridge != n-2 || inst.Sink != n-1 || len(inst.Cluster) != n-2 {
+		t.Fatal("instance roles wrong")
+	}
+	// Cluster pairwise distances = εR/8.
+	want := eps * r / 8
+	if d := inst.Space.Dist(0, 1); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("cluster spacing = %v, want %v", d, want)
+	}
+	// Cluster→bridge inside R (they are neighbours), cluster→sink beyond R.
+	if d := inst.Space.Dist(0, inst.Bridge); d >= r {
+		t.Fatalf("cluster-bridge = %v, must be < R", d)
+	}
+	if math.Abs(inst.Space.Dist(0, inst.Bridge)-mu*rb) > 1e-12 {
+		t.Fatal("cluster-bridge distance wrong")
+	}
+	if d := inst.Space.Dist(0, inst.Sink); d <= r {
+		t.Fatalf("cluster-sink = %v, must exceed R", d)
+	}
+	// Bridge→sink exactly RB.
+	if d := inst.Space.Dist(inst.Bridge, inst.Sink); math.Abs(d-rb) > 1e-12 {
+		t.Fatalf("bridge-sink = %v, want %v", d, rb)
+	}
+	// Symmetry.
+	if inst.Space.Dist(inst.Sink, inst.Bridge) != inst.Space.Dist(inst.Bridge, inst.Sink) {
+		t.Fatal("instance must be symmetric")
+	}
+}
+
+func TestLowerBoundBoundedIndependence(t *testing.T) {
+	// The instance is (εR/8, 1)-bounded independent: packings grow at most
+	// linearly in q (here they are tiny because the cluster is a single
+	// εR/8-ball).
+	inst := LowerBound(64, 10, 0.1)
+	rep := metric.CheckIndependence(inst.Space, []int{0, inst.Bridge, inst.Sink},
+		0.1*10/8, 1, []float64{1, 2, 4, 8, 16})
+	if rep.MaxC > 3 {
+		t.Fatalf("independence constant too large: %v", rep.MaxC)
+	}
+}
+
+func TestLowerBoundPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n<3":    func() { LowerBound(2, 10, 0.1) },
+		"eps=0":  func() { LowerBound(10, 10, 0) },
+		"eps>.5": func() { LowerBound(10, 10, 0.6) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: hop distances from HopDiameter satisfy the triangle property
+// along edges (BFS correctness surrogate) for random deployments.
+func TestHopDiameterProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		pts := UniformDisc(60, 20, seed)
+		adj := GeometricGraph(pts, 6)
+		dist, _ := HopDiameter(pts, 6, 0)
+		for u, nbrs := range adj {
+			for _, v := range nbrs {
+				du, dv := dist[u], dist[v]
+				if du >= 0 && dv >= 0 && du-dv > 1 {
+					return false
+				}
+				if (du >= 0) != (dv >= 0) {
+					return false // adjacent nodes must share reachability
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformBox3Bounds(t *testing.T) {
+	pts := UniformBox3(200, 25, 9)
+	if len(pts) != 200 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		for d := 0; d < 3; d++ {
+			if p[d] < 0 || p[d] >= 25 {
+				t.Fatalf("coordinate out of bounds: %v", p)
+			}
+		}
+	}
+	a, b := UniformBox3(10, 5, 3), UniformBox3(10, 5, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the deployment")
+		}
+	}
+}
+
+func TestSideForDegree3Calibration(t *testing.T) {
+	const n, target = 3000, 20
+	rb := 9.0
+	side := SideForDegree3(n, target, rb)
+	pts := UniformBox3(n, side, 4)
+	e := metric.NewEuclidean3(pts)
+	// Sample interior nodes to dodge boundary effects.
+	sum, cnt := 0.0, 0
+	for u := 0; u < n; u += 10 {
+		interior := true
+		for d := 0; d < 3; d++ {
+			if pts[u][d] < rb || pts[u][d] > side-rb {
+				interior = false
+			}
+		}
+		if !interior {
+			continue
+		}
+		deg := 0
+		for v := 0; v < n; v++ {
+			if v != u && e.Dist(u, v) <= rb {
+				deg++
+			}
+		}
+		sum += float64(deg)
+		cnt++
+	}
+	if cnt == 0 {
+		t.Skip("no interior samples at this density")
+	}
+	avg := sum / float64(cnt)
+	if avg < 0.6*target || avg > 1.5*target {
+		t.Fatalf("interior degree %.1f, want ≈ %d", avg, target)
+	}
+}
+
+func TestDegreeHelpersClampDegenerate(t *testing.T) {
+	if SideForDegree(100, 0, 5) != SideForDegree(100, 1, 5) {
+		t.Fatal("SideForDegree must clamp delta to 1")
+	}
+	if SideForDegree3(100, -2, 5) != SideForDegree3(100, 1, 5) {
+		t.Fatal("SideForDegree3 must clamp delta to 1")
+	}
+}
+
+func TestClusteredClampsBelowZero(t *testing.T) {
+	// A huge spread forces samples beyond both borders; all must clamp.
+	pts := Clustered(500, 2, 1000, 10, 11)
+	for _, p := range pts {
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("unclamped point %v", p)
+		}
+	}
+}
