@@ -6,15 +6,34 @@
 package udwn_test
 
 import (
+	"runtime"
 	"testing"
 
 	"udwn/internal/experiment"
 )
 
+// benchOptions pins Workers to 1 so ns/op measures the single-core cost of
+// regenerating a table, comparable across machines and with the recorded
+// EXPERIMENTS.md baselines. BenchmarkTable3BroadcastParallel measures the
+// same grid with the full worker pool for the speed-up.
 func benchOptions() experiment.Options {
 	o := experiment.QuickOptions()
 	o.Seeds = 1
+	o.Workers = 1
 	return o
+}
+
+// BenchmarkTable3BroadcastParallel regenerates Table 3 with one worker per
+// CPU; compare against BenchmarkTable3Broadcast for the parallel speed-up
+// (the outputs are byte-identical — see TestWorkersDeterminism).
+func BenchmarkTable3BroadcastParallel(b *testing.B) {
+	o := benchOptions()
+	o.Workers = runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table3Broadcast(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
 }
 
 func BenchmarkFigure1Contention(b *testing.B) {

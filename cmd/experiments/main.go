@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seeds N] [id ...]
+//	experiments [-quick] [-seeds N] [-workers N] [id ...]
 //
-// With no ids, all experiments run in report order.
+// With no ids, all experiments run in report order. Each experiment's
+// (cell × seed) grid is evaluated on -workers concurrent workers (default:
+// all CPUs); the output is byte-identical for every worker count.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	seeds := flag.Int("seeds", 0, "repetitions per cell (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent grid cells (0 = all CPUs, 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -37,6 +40,7 @@ func main() {
 	if *seeds > 0 {
 		opts.Seeds = *seeds
 	}
+	opts.Workers = *workers
 
 	selected := experiment.All()
 	if args := flag.Args(); len(args) > 0 {

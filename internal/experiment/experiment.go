@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 
 	"udwn"
 	"udwn/internal/sim"
@@ -18,6 +19,12 @@ type Options struct {
 	Seeds int
 	// Quick shrinks sizes for unit tests and smoke benches.
 	Quick bool
+	// Workers caps how many grid cells execute concurrently. Zero defaults
+	// to runtime.NumCPU(); 1 runs every cell sequentially in the calling
+	// goroutine (the historical behaviour). Results are byte-identical for
+	// every value — each cell is a pure function of its seeds and the merge
+	// order is fixed (see grid.go).
+	Workers int
 }
 
 // DefaultOptions returns the settings used for the recorded EXPERIMENTS.md
@@ -32,6 +39,13 @@ func (o Options) seeds() int {
 		return 1
 	}
 	return o.Seeds
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
 }
 
 // Experiment is one table or figure runner.
@@ -116,7 +130,10 @@ func localRunOn(s *sim.Sim, n, maxTicks int) (all float64, mean float64, done bo
 		}
 	}
 	if cnt == 0 {
-		return float64(ticks), float64(maxTicks), ok
+		// No node completed: there is no mean to take. Report the cap as a
+		// pessimistic sentinel and force done=false so callers cannot
+		// mistake a total timeout for a (terrible) measured mean.
+		return float64(ticks), float64(maxTicks), false
 	}
 	return float64(ticks), sum / float64(cnt), ok
 }

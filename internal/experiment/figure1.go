@@ -44,28 +44,36 @@ func Figure1Contention(o Options) fmt.Stringer {
 		return maxC
 	}
 
-	run := func(p0 float64, out *trace.Series) {
-		series := make([][]float64, rounds)
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := uniformNetwork(n, delta, phy, uint64(1000+seed))
-			s, err := nw.NewSim(func(id int) sim.Protocol {
-				return core.NewBalancer(core.NewTryAdjustSpontaneous(p0))
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD})
-			if err != nil {
-				panic(err)
-			}
-			for r := 0; r < rounds; r++ {
-				s.Step()
-				series[r] = append(series[r], sample(s))
-			}
+	// Rows are the two starting configurations; each cell traces one seed.
+	starts := []float64{0.5, 1 / (2 * float64(n))}
+	grid := runSeedGrid(o, len(starts), func(row, seed int) []float64 {
+		p0 := starts[row]
+		nw := uniformNetwork(n, delta, phy, uint64(1000+seed))
+		s, err := nw.NewSim(func(id int) sim.Protocol {
+			return core.NewBalancer(core.NewTryAdjustSpontaneous(p0))
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD})
+		if err != nil {
+			panic(err)
 		}
+		samples := make([]float64, rounds)
 		for r := 0; r < rounds; r++ {
-			out.Add(float64(r+1), stats.Mean(series[r]))
+			s.Step()
+			samples[r] = sample(s)
+		}
+		return samples
+	})
+
+	merge := func(row int, out *trace.Series) {
+		for r := 0; r < rounds; r++ {
+			perSeed := make([]float64, 0, len(grid[row]))
+			for _, samples := range grid[row] {
+				perSeed = append(perSeed, samples[r])
+			}
+			out.Add(float64(r+1), stats.Mean(perSeed))
 		}
 	}
-
-	run(0.5, hot)
-	run(1/(2*float64(n)), cold)
+	merge(0, hot)
+	merge(1, cold)
 
 	logN := math.Log2(float64(n))
 	plot.AddNote("log2(n) = %.1f; Prop. 3.1 predicts convergence to a constant band within O(log n) rounds", logN)

@@ -32,8 +32,11 @@ func Figure2LowerBound(o Options) fmt.Stringer {
 	without := plot.NewSeries("Bcast* without NTD")
 	pc := plot.NewSeries("power-control (no NTD)")
 
-	run := func(n int, mode string) float64 {
-		var rounds []float64
+	// Rows are the flattened (n, mode) pairs, n-major, in plot-fill order.
+	modes := []string{"ntd", "none", "pc"}
+	grid := runSeedGrid(o, len(sizes)*len(modes), func(row, seed int) float64 {
+		n := sizes[row/len(modes)]
+		mode := modes[row%len(modes)]
 		prims := sim.CD | sim.ACK
 		if mode == "ntd" {
 			prims |= sim.NTD
@@ -41,30 +44,27 @@ func Figure2LowerBound(o Options) fmt.Stringer {
 		// The App. B power-control substitute: low-power notifications with
 		// decode range (ε/2)R/2 = εR/4 > εR/8 (the cluster spacing).
 		notifyScale := core.NotifyScaleFor(phy.Eps/2, phy.Alpha)
-		for seed := 0; seed < o.seeds(); seed++ {
-			inst := workload.LowerBound(n, phy.Range, phy.Eps)
-			nw := udwn.NewSINRSpace(inst.Space, phy)
-			src := seed % (n - 2) // a cluster node holds the message
-			s := mustSim(nw, func(id int) sim.Protocol {
-				if mode == "pc" {
-					return core.NewBcastStarPC(n, 42, id == src, notifyScale)
-				}
-				return core.NewBcastStar(n, 42, id == src)
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
-				SenseEps: phy.Eps / 2, Primitives: prims})
-			s.MarkInformed(src)
-			ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
-				return s.FirstDecode(inst.Sink) >= 0
-			}, 200*n+40000)
-			rounds = append(rounds, float64(ticks)/2)
-		}
-		return stats.Mean(rounds)
-	}
+		inst := workload.LowerBound(n, phy.Range, phy.Eps)
+		nw := udwn.NewSINRSpace(inst.Space, phy)
+		src := seed % (n - 2) // a cluster node holds the message
+		s := mustSim(nw, func(id int) sim.Protocol {
+			if mode == "pc" {
+				return core.NewBcastStarPC(n, 42, id == src, notifyScale)
+			}
+			return core.NewBcastStar(n, 42, id == src)
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+			SenseEps: phy.Eps / 2, Primitives: prims})
+		s.MarkInformed(src)
+		ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
+			return s.FirstDecode(inst.Sink) >= 0
+		}, 200*n+40000)
+		return float64(ticks) / 2
+	})
 
-	for _, n := range sizes {
-		with.Add(float64(n), run(n, "ntd"))
-		without.Add(float64(n), run(n, "none"))
-		pc.Add(float64(n), run(n, "pc"))
+	for i, n := range sizes {
+		with.Add(float64(n), stats.Mean(grid[i*len(modes)]))
+		without.Add(float64(n), stats.Mean(grid[i*len(modes)+1]))
+		pc.Add(float64(n), stats.Mean(grid[i*len(modes)+2]))
 	}
 
 	// Fit the growth of the no-NTD curve.

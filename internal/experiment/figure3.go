@@ -35,41 +35,56 @@ func Figure3CDF(o Options) fmt.Stringer {
 	dec := plot.NewSeries("Decay")
 	fix := plot.NewSeries("FixedProb")
 
-	collect := func(factory sim.ProtocolFactory, opts udwn.SimOptions) []float64 {
-		var ticks []float64
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := uniformNetwork(n, delta, phy, uint64(13000+seed))
-			opts.Seed = uint64(seed + 1)
-			s := mustSim(nw, factory, opts)
-			s.RunUntil(func(s *sim.Sim) bool {
-				for v := 0; v < n; v++ {
-					if s.FirstMassDelivery(v) < 0 {
-						return false
-					}
-				}
-				return true
-			}, maxTicks)
+	// Rows are the three protocols; each cell collects one seed's per-node
+	// completion ticks.
+	type proto struct {
+		factory sim.ProtocolFactory
+		opts    udwn.SimOptions
+	}
+	protos := []proto{
+		{func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Primitives: sim.CD | sim.ACK}},
+		{func(id int) sim.Protocol {
+			return baseline.NewDecay(n, int64(id))
+		}, udwn.SimOptions{Primitives: sim.FreeAck}},
+		{func(id int) sim.Protocol {
+			return baseline.NewFixedProb(delta, 1, int64(id))
+		}, udwn.SimOptions{Primitives: sim.FreeAck}},
+	}
+	grid := runSeedGrid(o, len(protos), func(row, seed int) []float64 {
+		nw := uniformNetwork(n, delta, phy, uint64(13000+seed))
+		opts := protos[row].opts
+		opts.Seed = uint64(seed + 1)
+		s := mustSim(nw, protos[row].factory, opts)
+		s.RunUntil(func(s *sim.Sim) bool {
 			for v := 0; v < n; v++ {
-				if t := s.FirstMassDelivery(v); t >= 0 {
-					ticks = append(ticks, float64(t))
-				} else {
-					ticks = append(ticks, float64(maxTicks))
+				if s.FirstMassDelivery(v) < 0 {
+					return false
 				}
 			}
+			return true
+		}, maxTicks)
+		ticks := make([]float64, 0, n)
+		for v := 0; v < n; v++ {
+			if t := s.FirstMassDelivery(v); t >= 0 {
+				ticks = append(ticks, float64(t))
+			} else {
+				ticks = append(ticks, float64(maxTicks))
+			}
+		}
+		return ticks
+	})
+
+	merge := func(row int) []float64 {
+		var ticks []float64
+		for _, seedTicks := range grid[row] {
+			ticks = append(ticks, seedTicks...)
 		}
 		sort.Float64s(ticks)
 		return ticks
 	}
-
-	lbTicks := collect(func(id int) sim.Protocol {
-		return core.NewLocalBcast(n, int64(id))
-	}, udwn.SimOptions{Primitives: sim.CD | sim.ACK})
-	decTicks := collect(func(id int) sim.Protocol {
-		return baseline.NewDecay(n, int64(id))
-	}, udwn.SimOptions{Primitives: sim.FreeAck})
-	fixTicks := collect(func(id int) sim.Protocol {
-		return baseline.NewFixedProb(delta, 1, int64(id))
-	}, udwn.SimOptions{Primitives: sim.FreeAck})
+	lbTicks, decTicks, fixTicks := merge(0), merge(1), merge(2)
 
 	for _, p := range []float64{5, 10, 25, 50, 75, 90, 95, 99} {
 		lb.Add(p, stats.Percentile(lbTicks, p))

@@ -38,14 +38,15 @@ func Figure4Stabilisation(o Options) fmt.Stringer {
 		"round")
 	series := plot.NewSeries("max vicinity contention")
 
-	perRound := make([][]float64, rounds)
-	for seed := 0; seed < o.seeds(); seed++ {
+	// A single row of seed cells; each traces one full burst schedule.
+	grid := runSeedGrid(o, 1, func(_, seed int) []float64 {
 		nw := uniformNetwork(n, delta, phy, uint64(15000+seed))
 		// Hot factory: every (re)join starts at p = 1/2.
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewBalancer(core.NewTryAdjustSpontaneous(0.5))
 		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD})
 		burst := dynamics.NewBurstChurn(burstPeriod, frac, uint64(16000+seed))
+		samples := make([]float64, rounds)
 		for r := 0; r < rounds; r++ {
 			if r > 0 { // let the initial hot start settle as burst #0
 				burst.Apply(s, r)
@@ -60,11 +61,16 @@ func Figure4Stabilisation(o Options) fmt.Stringer {
 					maxC = c
 				}
 			}
-			perRound[r] = append(perRound[r], maxC)
+			samples[r] = maxC
 		}
-	}
+		return samples
+	})
 	for r := 0; r < rounds; r++ {
-		series.Add(float64(r+1), stats.Mean(perRound[r]))
+		perSeed := make([]float64, 0, len(grid[0]))
+		for _, tr := range grid[0] {
+			perSeed = append(perSeed, tr[r])
+		}
+		series.Add(float64(r+1), stats.Mean(perSeed))
 	}
 
 	// Quantify recovery: contention just after a burst vs midway between

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden snapshots")
+
+// TestGoldenOutputs pins the QuickOptions rendering of every table and
+// figure to a committed snapshot, so refactors of the harness (or of the
+// simulator underneath it) cannot silently change the science. Every run is
+// a pure function of its seeds, so these are stable across worker counts
+// and repeated runs; refresh them after an *intentional* behaviour change
+// with:
+//
+//	go test ./internal/experiment -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite skipped in -short mode")
+	}
+	o := QuickOptions()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			got := e.Run(o).String()
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s output drifted from %s.\nIf the change is intentional, refresh with -update.\n--- got ---\n%s\n--- want ---\n%s",
+					e.ID, path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// This file is the parallel execution engine of the experiment suite.
+//
+// Every experiment is a (cell × seed) grid whose entries are pure functions
+// of their captured parameters — DESIGN.md §4 makes each simulation run a
+// pure function of (topology seed, run seed) — so the grid can be evaluated
+// in any order, on any number of workers, and still merge into the exact
+// same table or plot. Runners declare their cells in report order, the
+// scheduler fans them out, and Run returns the results indexed by
+// declaration order regardless of completion order. Aggregation then happens
+// sequentially in the runner, so floating-point accumulation order (and
+// therefore the rendered output) is byte-identical for every worker count.
+//
+// The purity contract for a Cell: construct every Network, Sim, driver and
+// tracker it uses inside the closure, and do not touch variables shared with
+// other cells. The sim stack holds no package-level mutable state (all
+// randomness flows through per-Sim rng.Sources; package vars are interface
+// assertions only), so cells built this way are data-race free by
+// construction. TestParallelRace and the -race tier-1 gate enforce this.
+
+// Cell is one independent unit of an experiment grid: a closure returning
+// the typed measurements of a single (cell, seed) entry.
+type Cell[T any] func() T
+
+// Grid is an ordered collection of cells. The zero value is ready to use.
+type Grid[T any] struct {
+	cells []Cell[T]
+}
+
+// Add declares the next cell in merge order.
+func (g *Grid[T]) Add(c Cell[T]) {
+	g.cells = append(g.cells, c)
+}
+
+// Len returns the number of declared cells.
+func (g *Grid[T]) Len() int { return len(g.cells) }
+
+// Run evaluates every cell on up to o.workers() concurrent workers and
+// returns the results in declaration order. With one worker the cells run
+// in the calling goroutine in declaration order — exactly the historical
+// sequential behaviour. A panicking cell panics Run with the cell index and
+// the original message; when several cells panic, the lowest index wins, so
+// even failures are deterministic.
+func (g *Grid[T]) Run(o Options) []T {
+	out := make([]T, len(g.cells))
+	workers := o.workers()
+	if workers > len(g.cells) {
+		workers = len(g.cells)
+	}
+	if workers <= 1 {
+		for i, c := range g.cells {
+			i, c := i, c
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(fmt.Sprintf("experiment: grid cell %d: %v\n%s",
+							i, r, debug.Stack()))
+					}
+				}()
+				out[i] = c()
+			}()
+		}
+		return out
+	}
+
+	type cellPanic struct {
+		idx   int
+		val   any
+		stack []byte
+	}
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		firstPan *cellPanic
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							p := &cellPanic{idx: i, val: r, stack: debug.Stack()}
+							panicMu.Lock()
+							if firstPan == nil || p.idx < firstPan.idx {
+								firstPan = p
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = g.cells[i]()
+				}()
+			}
+		}()
+	}
+	for i := range g.cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstPan != nil {
+		panic(fmt.Sprintf("experiment: grid cell %d: %v\n%s",
+			firstPan.idx, firstPan.val, firstPan.stack))
+	}
+	return out
+}
+
+// runSeedGrid is the common grid shape: rows × o.seeds() cells, where
+// fn(row, seed) computes one entry. Results come back as [row][seed], so
+// runners aggregate with the same row-major, seed-minor loops they always
+// used.
+func runSeedGrid[T any](o Options, rows int, fn func(row, seed int) T) [][]T {
+	seeds := o.seeds()
+	var g Grid[T]
+	for row := 0; row < rows; row++ {
+		for seed := 0; seed < seeds; seed++ {
+			row, seed := row, seed
+			g.Add(func() T { return fn(row, seed) })
+		}
+	}
+	flat := g.Run(o)
+	out := make([][]T, rows)
+	for row := 0; row < rows; row++ {
+		out[row] = flat[row*seeds : (row+1)*seeds]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGridCellsOverlap proves the scheduler genuinely fans cells out: eight
+// cells rendezvous at a barrier that only releases once all eight have
+// started, so Run can finish only if they execute concurrently. (A secretly
+// sequential scheduler would hang, hence the timeout.)
+func TestGridCellsOverlap(t *testing.T) {
+	const workers = 8
+	var g Grid[bool]
+	var started sync.WaitGroup
+	started.Add(workers)
+	for i := 0; i < workers; i++ {
+		g.Add(func() bool {
+			started.Done()
+			started.Wait()
+			return true
+		})
+	}
+	done := make(chan []bool, 1)
+	go func() { done <- g.Run(Options{Workers: workers}) }()
+	select {
+	case res := <-done:
+		for i, ok := range res {
+			if !ok {
+				t.Fatalf("cell %d missing", i)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cells never overlapped: scheduler is not concurrent")
+	}
+}
+
+func TestGridPreservesDeclarationOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		var g Grid[int]
+		for i := 0; i < 100; i++ {
+			i := i
+			g.Add(func() int { return i * i })
+		}
+		got := g.Run(Options{Workers: workers})
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestGridRunsEveryCellExactlyOnce(t *testing.T) {
+	var calls atomic.Int64
+	var g Grid[struct{}]
+	for i := 0; i < 37; i++ {
+		g.Add(func() struct{} { calls.Add(1); return struct{}{} })
+	}
+	g.Run(Options{Workers: 8})
+	if n := calls.Load(); n != 37 {
+		t.Fatalf("cells ran %d times, want 37", n)
+	}
+}
+
+func TestGridEmptyAndSingle(t *testing.T) {
+	var g Grid[int]
+	if got := g.Run(Options{Workers: 8}); len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+	g.Add(func() int { return 7 })
+	if got := g.Run(Options{Workers: 8}); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single-cell grid returned %v", got)
+	}
+}
+
+// A panicking cell must panic Run with the lowest failing cell index, so
+// failures are deterministic regardless of scheduling.
+func TestGridPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var g Grid[int]
+		for i := 0; i < 16; i++ {
+			i := i
+			g.Add(func() int {
+				if i == 3 || i == 12 {
+					panic("boom")
+				}
+				return i
+			})
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: expected panic", workers)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "grid cell 3: boom") {
+					t.Fatalf("workers=%d: wrong panic: %v", workers, r)
+				}
+			}()
+			g.Run(Options{Workers: workers})
+		}()
+	}
+}
+
+func TestRunSeedGridShape(t *testing.T) {
+	type pair struct{ row, seed int }
+	o := Options{Seeds: 3, Workers: 4}
+	got := runSeedGrid(o, 5, func(row, seed int) pair { return pair{row, seed} })
+	if len(got) != 5 {
+		t.Fatalf("got %d rows, want 5", len(got))
+	}
+	for r, rowRes := range got {
+		if len(rowRes) != 3 {
+			t.Fatalf("row %d has %d seeds, want 3", r, len(rowRes))
+		}
+		for s, p := range rowRes {
+			if p.row != r || p.seed != s {
+				t.Fatalf("cell (%d,%d) computed as (%d,%d)", r, s, p.row, p.seed)
+			}
+		}
+	}
+}
+
+func TestOptionsWorkersDefault(t *testing.T) {
+	if (Options{}).workers() < 1 {
+		t.Fatal("default workers must be at least 1")
+	}
+	if (Options{Workers: 6}).workers() != 6 {
+		t.Fatal("explicit workers not honoured")
+	}
+}

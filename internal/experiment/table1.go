@@ -28,27 +28,34 @@ func Table1LocalDelta(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 1: local broadcast completion (ticks until every node mass-delivered), n=%d, %d seeds", n, o.seeds()),
 		"Δ", "LocalBcast", "Decay", "FixedProb(Δ)", "Decay/LB", "LB/Δ")
 
-	for _, delta := range deltas {
+	type cell struct{ lb, dec, fix float64 }
+	grid := runSeedGrid(o, len(deltas), func(row, seed int) cell {
+		delta := deltas[row]
 		maxTicks := 400*delta + 200*n // generous cap; Decay needs Θ(Δ log n)
+		nw := uniformNetwork(n, delta, phy, uint64(100*delta+seed))
+		runSeed := uint64(seed + 1)
+
+		var c cell
+		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+
+		c.dec, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return baseline.NewDecay(n, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
+
+		c.fix, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return baseline.NewFixedProb(delta, 1, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
+		return c
+	})
+
+	for row, delta := range deltas {
 		var lb, dec, fix []float64
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := uniformNetwork(n, delta, phy, uint64(100*delta+seed))
-			runSeed := uint64(seed + 1)
-
-			all, _, _ := localRun(nw, n, func(id int) sim.Protocol {
-				return core.NewLocalBcast(n, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
-			lb = append(lb, all)
-
-			all, _, _ = localRun(nw, n, func(id int) sim.Protocol {
-				return baseline.NewDecay(n, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
-			dec = append(dec, all)
-
-			all, _, _ = localRun(nw, n, func(id int) sim.Protocol {
-				return baseline.NewFixedProb(delta, 1, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
-			fix = append(fix, all)
+		for _, c := range grid[row] {
+			lb = append(lb, c.lb)
+			dec = append(dec, c.dec)
+			fix = append(fix, c.fix)
 		}
 		mlb, mdec, mfix := stats.Mean(lb), stats.Mean(dec), stats.Mean(fix)
 		t.AddRowf(delta, mlb, mdec, mfix,

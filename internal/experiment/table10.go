@@ -40,34 +40,51 @@ func Table10MultiChannel(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 10: multi-channel local broadcast (cumulative coverage, n=%d, %d seeds)", n, o.seeds()),
 		"Δ", "channels", "all covered", "mean pair-coverage", "vs 1 channel")
 
-	for _, delta := range deltas {
-		var base float64
-		for _, ch := range channelCounts {
-			var ticks, means []float64
-			for seed := 0; seed < o.seeds(); seed++ {
-				nw := uniformNetwork(n, delta, phy, uint64(17000+100*delta+seed))
-				s := mustSim(nw, func(id int) sim.Protocol {
-					return core.NewMCLocalBcast(n, ch, int64(id))
-				}, udwn.SimOptions{Seed: uint64(seed + 1), Channels: ch,
-					Primitives: sim.CD | sim.ACK, TrackCoverage: true})
-				tk, _ := s.RunUntil(func(s *sim.Sim) bool {
-					for v := 0; v < n; v++ {
-						if s.FirstFullCoverage(v) < 0 {
-							return false
-						}
-					}
-					return true
-				}, maxTicks)
-				ticks = append(ticks, float64(tk))
-				sum, cnt := 0.0, 0
-				for v := 0; v < n; v++ {
-					if c := s.FirstFullCoverage(v); c >= 0 {
-						sum += float64(c)
-						cnt++
-					}
+	// Rows are the flattened (Δ, channels) pairs, delta-major.
+	type result struct {
+		ticks   float64
+		mean    float64
+		hasMean bool
+	}
+	rows := len(deltas) * len(channelCounts)
+	grid := runSeedGrid(o, rows, func(row, seed int) result {
+		delta := deltas[row/len(channelCounts)]
+		ch := channelCounts[row%len(channelCounts)]
+		nw := uniformNetwork(n, delta, phy, uint64(17000+100*delta+seed))
+		s := mustSim(nw, func(id int) sim.Protocol {
+			return core.NewMCLocalBcast(n, ch, int64(id))
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Channels: ch,
+			Primitives: sim.CD | sim.ACK, TrackCoverage: true})
+		tk, _ := s.RunUntil(func(s *sim.Sim) bool {
+			for v := 0; v < n; v++ {
+				if s.FirstFullCoverage(v) < 0 {
+					return false
 				}
-				if cnt > 0 {
-					means = append(means, sum/float64(cnt))
+			}
+			return true
+		}, maxTicks)
+		r := result{ticks: float64(tk)}
+		sum, cnt := 0.0, 0
+		for v := 0; v < n; v++ {
+			if c := s.FirstFullCoverage(v); c >= 0 {
+				sum += float64(c)
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			r.mean, r.hasMean = sum/float64(cnt), true
+		}
+		return r
+	})
+
+	for di, delta := range deltas {
+		var base float64
+		for ci, ch := range channelCounts {
+			var ticks, means []float64
+			for _, r := range grid[di*len(channelCounts)+ci] {
+				ticks = append(ticks, r.ticks)
+				if r.hasMean {
+					means = append(means, r.mean)
 				}
 			}
 			m := stats.Mean(ticks)

@@ -51,54 +51,68 @@ func Table11StableDistance(o Options) fmt.Stringer {
 			n, stableL, o.seeds()),
 		"scenario", "stable-reached", "informed of reached", "mean tick/D_st", "p95 tick/D_st")
 
-	for _, sc := range scenarios {
+	type result struct {
+		ratios                            []float64
+		reached, informedOfReached, nodes int
+	}
+	grid := runSeedGrid(o, len(scenarios), func(row, seed int) result {
+		sc := scenarios[row]
+		side := workload.SideForDegree(n, delta, rb)
+		pts := workload.UniformDisc(n, side, uint64(19000+seed))
+		nw := udwn.NewSINRNetwork(pts, phy)
+		s := mustSim(nw, func(id int) sim.Protocol {
+			return core.NewBcast(n, 3, 42, id == 0)
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+			SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD,
+			Dynamic: sc.dynamic})
+		s.MarkInformed(0)
+
+		var drv dynamics.Driver
+		switch {
+		case sc.walk > 0:
+			drv = dynamics.NewRandomWalk(sc.walk*phy.Range, side, uint64(77+seed))
+		case sc.churn > 0:
+			c := dynamics.NewPoissonChurn(sc.churn, uint64(88+seed))
+			c.Protect = map[int]bool{0: true}
+			drv = c
+		}
+		tr := dynamics.NewStableTracker(0, n, stableL, rb)
+		for tick := 0; tick < maxTicks; tick++ {
+			if drv != nil {
+				drv.Apply(s, s.Tick())
+			}
+			tr.Observe(s)
+			s.Step()
+			// Stop once the comparison is decided for every node:
+			// stable paths complete and payloads delivered.
+			if tr.Reached() == n && allInformed(s, n) {
+				break
+			}
+		}
+		var r result
+		for v := 1; v < n; v++ {
+			r.nodes++
+			arr := tr.Arrival(v)
+			if arr <= 0 {
+				continue // no stable path: the theorem promises nothing
+			}
+			r.reached++
+			if inf := s.FirstDecode(v); inf >= 0 {
+				r.informedOfReached++
+				r.ratios = append(r.ratios, float64(inf)/float64(arr))
+			}
+		}
+		return r
+	})
+
+	for row, sc := range scenarios {
 		var ratios []float64
 		reachedTotal, informedOfReached, nodeTotal := 0, 0, 0
-		for seed := 0; seed < o.seeds(); seed++ {
-			side := workload.SideForDegree(n, delta, rb)
-			pts := workload.UniformDisc(n, side, uint64(19000+seed))
-			nw := udwn.NewSINRNetwork(pts, phy)
-			s := mustSim(nw, func(id int) sim.Protocol {
-				return core.NewBcast(n, 3, 42, id == 0)
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
-				SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD,
-				Dynamic: sc.dynamic})
-			s.MarkInformed(0)
-
-			var drv dynamics.Driver
-			switch {
-			case sc.walk > 0:
-				drv = dynamics.NewRandomWalk(sc.walk*phy.Range, side, uint64(77+seed))
-			case sc.churn > 0:
-				c := dynamics.NewPoissonChurn(sc.churn, uint64(88+seed))
-				c.Protect = map[int]bool{0: true}
-				drv = c
-			}
-			tr := dynamics.NewStableTracker(0, n, stableL, rb)
-			for tick := 0; tick < maxTicks; tick++ {
-				if drv != nil {
-					drv.Apply(s, s.Tick())
-				}
-				tr.Observe(s)
-				s.Step()
-				// Stop once the comparison is decided for every node:
-				// stable paths complete and payloads delivered.
-				if tr.Reached() == n && allInformed(s, n) {
-					break
-				}
-			}
-			for v := 1; v < n; v++ {
-				nodeTotal++
-				arr := tr.Arrival(v)
-				if arr <= 0 {
-					continue // no stable path: the theorem promises nothing
-				}
-				reachedTotal++
-				if inf := s.FirstDecode(v); inf >= 0 {
-					informedOfReached++
-					ratios = append(ratios, float64(inf)/float64(arr))
-				}
-			}
+		for _, r := range grid[row] {
+			ratios = append(ratios, r.ratios...)
+			reachedTotal += r.reached
+			informedOfReached += r.informedOfReached
+			nodeTotal += r.nodes
 		}
 		sum := stats.Summarize(ratios)
 		t.AddRowf(sc.name,

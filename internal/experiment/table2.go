@@ -26,24 +26,31 @@ func Table2LocalN(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 2: local broadcast completion vs n (ticks, Δ≈%d, %d seeds)", delta, o.seeds()),
 		"n", "log2(n)", "LocalBcast", "Spontaneous(uniform)", "LB/log2(n)")
 
-	for _, n := range sizes {
+	type cell struct{ lb, sp float64 }
+	grid := runSeedGrid(o, len(sizes), func(row, seed int) cell {
+		n := sizes[row]
 		maxTicks := 500*delta + 100*n
+		nw := uniformNetwork(n, delta, phy, uint64(10*n+seed))
+		runSeed := uint64(seed + 1)
+
+		var c cell
+		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+
+		// The uniform variant starts at an arbitrary constant
+		// probability with no floor and never consults n.
+		c.sp, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return core.NewLocalBcastSpontaneous(0.25, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+		return c
+	})
+
+	for row, n := range sizes {
 		var lb, sp []float64
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := uniformNetwork(n, delta, phy, uint64(10*n+seed))
-			runSeed := uint64(seed + 1)
-
-			all, _, _ := localRun(nw, n, func(id int) sim.Protocol {
-				return core.NewLocalBcast(n, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
-			lb = append(lb, all)
-
-			// The uniform variant starts at an arbitrary constant
-			// probability with no floor and never consults n.
-			all, _, _ = localRun(nw, n, func(id int) sim.Protocol {
-				return core.NewLocalBcastSpontaneous(0.25, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
-			sp = append(sp, all)
+		for _, c := range grid[row] {
+			lb = append(lb, c.lb)
+			sp = append(sp, c.sp)
 		}
 		logN := math.Log2(float64(n))
 		mlb := stats.Mean(lb)

@@ -33,54 +33,71 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 3: global broadcast completion (rounds until all informed, %d seeds)", o.seeds()),
 		"n", "diam D", "Bcast*", "Spont(G.1)", "DecayFlood", "Bcast*/D", "Spont/D", "tx B*/Sp/DF")
 
-	for _, length := range lengths {
+	type cell struct {
+		diam, bst, spt, dcy float64
+		bstTx, sptTx, dcyTx float64
+	}
+	grid := runSeedGrid(o, len(lengths), func(row, seed int) cell {
+		length := lengths[row]
+		n := int(length)
+		pts, diam := connectedStrip(n, length, rb, uint64(3000+7*int(length)+seed))
+		nw := udwn.NewSINRNetwork(pts, phy)
+		runSeed := uint64(seed + 1)
+		c := cell{diam: float64(diam)}
+
+		// Bcast*: two slots, ε/2 precision primitives.
+		s := mustSim(nw, func(id int) sim.Protocol {
+			return core.NewBcastStar(n, 42, id == 0)
+		}, udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
+			Primitives: sim.CD | sim.ACK | sim.NTD})
+		s.MarkInformed(0)
+		ticks, _ := s.RunUntil(broadcastDone(n), 400000)
+		c.bst = float64(ticks) / 2
+		c.bstTx = float64(s.TotalTransmissions())
+
+		// Spontaneous dominating-set broadcast.
+		ntd := nw.NTDThreshold(phy.Eps / 2)
+		s = mustSim(nw, func(id int) sim.Protocol {
+			return core.NewSpontBcast(0.05, 1/(2*float64(n)), ntd, 42, id == 0)
+		}, udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
+			Primitives: sim.CD | sim.ACK | sim.NTD})
+		s.MarkInformed(0)
+		// "Informed" must mean payload receipt: dominator-construction
+		// traffic also produces decodes, so FirstDecode is too loose.
+		ticks, _ = s.RunUntil(func(s *sim.Sim) bool {
+			for v := 0; v < n; v++ {
+				if !s.Protocol(v).(*core.SpontBcast).Informed() {
+					return false
+				}
+			}
+			return true
+		}, 400000)
+		c.spt = float64(ticks) / 2
+		c.sptTx = float64(s.TotalTransmissions())
+
+		// Decay flooding: single slot, no carrier sense at all.
+		s = mustSim(nw, func(id int) sim.Protocol {
+			return baseline.NewDecayBcast(n, 42, id == 0)
+		}, udwn.SimOptions{Seed: runSeed})
+		s.MarkInformed(0)
+		ticks, _ = s.RunUntil(broadcastDone(n), 400000)
+		c.dcy = float64(ticks)
+		c.dcyTx = float64(s.TotalTransmissions())
+		return c
+	})
+
+	for row, length := range lengths {
 		n := int(length)
 		var bst, spt, dcy, diams []float64
 		var bstTx, sptTx, dcyTx []float64
-		for seed := 0; seed < o.seeds(); seed++ {
-			pts, diam := connectedStrip(n, length, rb, uint64(3000+7*int(length)+seed))
-			diams = append(diams, float64(diam))
-			nw := udwn.NewSINRNetwork(pts, phy)
-			runSeed := uint64(seed + 1)
-
-			// Bcast*: two slots, ε/2 precision primitives.
-			s := mustSim(nw, func(id int) sim.Protocol {
-				return core.NewBcastStar(n, 42, id == 0)
-			}, udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
-				Primitives: sim.CD | sim.ACK | sim.NTD})
-			s.MarkInformed(0)
-			ticks, _ := s.RunUntil(broadcastDone(n), 400000)
-			bst = append(bst, float64(ticks)/2)
-			bstTx = append(bstTx, float64(s.TotalTransmissions()))
-
-			// Spontaneous dominating-set broadcast.
-			ntd := nw.NTDThreshold(phy.Eps / 2)
-			s = mustSim(nw, func(id int) sim.Protocol {
-				return core.NewSpontBcast(0.05, 1/(2*float64(n)), ntd, 42, id == 0)
-			}, udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
-				Primitives: sim.CD | sim.ACK | sim.NTD})
-			s.MarkInformed(0)
-			// "Informed" must mean payload receipt: dominator-construction
-			// traffic also produces decodes, so FirstDecode is too loose.
-			ticks, _ = s.RunUntil(func(s *sim.Sim) bool {
-				for v := 0; v < n; v++ {
-					if !s.Protocol(v).(*core.SpontBcast).Informed() {
-						return false
-					}
-				}
-				return true
-			}, 400000)
-			spt = append(spt, float64(ticks)/2)
-			sptTx = append(sptTx, float64(s.TotalTransmissions()))
-
-			// Decay flooding: single slot, no carrier sense at all.
-			s = mustSim(nw, func(id int) sim.Protocol {
-				return baseline.NewDecayBcast(n, 42, id == 0)
-			}, udwn.SimOptions{Seed: runSeed})
-			s.MarkInformed(0)
-			ticks, _ = s.RunUntil(broadcastDone(n), 400000)
-			dcy = append(dcy, float64(ticks))
-			dcyTx = append(dcyTx, float64(s.TotalTransmissions()))
+		for _, c := range grid[row] {
+			diams = append(diams, c.diam)
+			bst = append(bst, c.bst)
+			bstTx = append(bstTx, c.bstTx)
+			spt = append(spt, c.spt)
+			sptTx = append(sptTx, c.sptTx)
+			dcy = append(dcy, c.dcy)
+			dcyTx = append(dcyTx, c.dcyTx)
 		}
 		d := stats.Mean(diams)
 		mb, ms := stats.Mean(bst), stats.Mean(spt)

@@ -80,41 +80,57 @@ func Table4Dynamics(o Options) fmt.Stringer {
 		"scenario", "victims done", "mean ticks", "p95 ticks", "mean dyn degree", "ticks/degree")
 
 	rb := (1 - phy.Eps) * phy.Range
-	for _, sc := range scenarios {
+	type victimResult struct {
+		deg  float64
+		tick float64 // -1 when the victim never completed
+	}
+	grid := runSeedGrid(o, len(scenarios), func(row, seed int) []victimResult {
+		sc := scenarios[row]
+		nw := uniformNetwork(n, delta, phy, uint64(7000+seed))
+		s := mustSim(nw, func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK,
+			Dynamic: sc.mobile})
+		drv := sc.driver(uint64(40+seed), protectSet())
+		if w, ok := drv.(*dynamics.RandomWalk); ok {
+			w.Side = workload.SideForDegree(n, delta, rb)
+		}
+		trackers := make([]*dynamics.DegreeTracker, len(victims))
+		for i, v := range victims {
+			trackers[i] = dynamics.NewDegreeTracker(v, rho*phy.Range)
+		}
+		for tick := 0; tick < maxTicks; tick++ {
+			if drv != nil {
+				drv.Apply(s, s.Tick())
+			}
+			for _, tr := range trackers {
+				tr.Observe(s)
+			}
+			s.Step()
+			if allVictimsDone(s, victims) {
+				break
+			}
+		}
+		out := make([]victimResult, len(victims))
+		for i, v := range victims {
+			out[i] = victimResult{deg: float64(trackers[i].Degree()), tick: -1}
+			if tk := s.FirstMassDelivery(v); tk >= 0 {
+				out[i].tick = float64(tk)
+			}
+		}
+		return out
+	})
+
+	for row, sc := range scenarios {
 		var ticksDone, dynDeg []float64
 		done, total := 0, 0
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := uniformNetwork(n, delta, phy, uint64(7000+seed))
-			s := mustSim(nw, func(id int) sim.Protocol {
-				return core.NewLocalBcast(n, int64(id))
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK,
-				Dynamic: sc.mobile})
-			drv := sc.driver(uint64(40+seed), protectSet())
-			if w, ok := drv.(*dynamics.RandomWalk); ok {
-				w.Side = workload.SideForDegree(n, delta, rb)
-			}
-			trackers := make([]*dynamics.DegreeTracker, len(victims))
-			for i, v := range victims {
-				trackers[i] = dynamics.NewDegreeTracker(v, rho*phy.Range)
-			}
-			for tick := 0; tick < maxTicks; tick++ {
-				if drv != nil {
-					drv.Apply(s, s.Tick())
-				}
-				for _, tr := range trackers {
-					tr.Observe(s)
-				}
-				s.Step()
-				if allVictimsDone(s, victims) {
-					break
-				}
-			}
-			for i, v := range victims {
+		for _, cellVictims := range grid[row] {
+			for _, vr := range cellVictims {
 				total++
-				dynDeg = append(dynDeg, float64(trackers[i].Degree()))
-				if tk := s.FirstMassDelivery(v); tk >= 0 {
+				dynDeg = append(dynDeg, vr.deg)
+				if vr.tick >= 0 {
 					done++
-					ticksDone = append(ticksDone, float64(tk))
+					ticksDone = append(ticksDone, vr.tick)
 				}
 			}
 		}

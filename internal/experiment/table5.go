@@ -61,22 +61,30 @@ func Table5CrossModel(o Options) fmt.Stringer {
 		}},
 	}
 
-	for _, c := range cells {
+	type result struct {
+		deg, ticks float64
+		done       bool
+	}
+	grid := runSeedGrid(o, len(cells), func(row, seed int) result {
+		nw := cells[row].mk(uint64(5000 + seed))
+		s := mustSim(nw, func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK})
+		degSum := 0.0
+		for v := 0; v < n; v++ {
+			degSum += float64(s.NeighborCount(v))
+		}
+		all, _, done := localRunOn(s, n, 60000)
+		return result{deg: degSum / float64(n), ticks: all, done: done}
+	})
+
+	for row, c := range cells {
 		var ticks, degs []float64
 		okAll := true
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := c.mk(uint64(5000 + seed))
-			s := mustSim(nw, func(id int) sim.Protocol {
-				return core.NewLocalBcast(n, int64(id))
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK})
-			degSum := 0.0
-			for v := 0; v < n; v++ {
-				degSum += float64(s.NeighborCount(v))
-			}
-			degs = append(degs, degSum/float64(n))
-			all, _, done := localRunOn(s, n, 60000)
-			ticks = append(ticks, all)
-			okAll = okAll && done
+		for _, r := range grid[row] {
+			degs = append(degs, r.deg)
+			ticks = append(ticks, r.ticks)
+			okAll = okAll && r.done
 		}
 		mt, md := stats.Mean(ticks), stats.Mean(degs)
 		ratio := "-"

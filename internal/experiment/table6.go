@@ -64,26 +64,35 @@ func Table6Ablations(o Options) fmt.Stringer {
 		}, 5000},
 	}
 
-	for _, v := range variants {
+	type result struct {
+		all, mean float64
+		done      bool
+	}
+	grid := runSeedGrid(o, len(variants), func(row, seed int) result {
+		v := variants[row]
 		tickCap := maxTicks
 		if v.maxTicks > 0 {
 			tickCap = v.maxTicks
 		}
+		phy := v.phy(udwn.DefaultPHY())
+		nw := uniformNetwork(n, delta, phy, uint64(9000+seed))
+		opts := v.opts(udwn.SimOptions{
+			Seed:       uint64(seed + 1),
+			Primitives: sim.CD | sim.ACK,
+		})
+		all, mean, done := localRun(nw, n, func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, opts, tickCap)
+		return result{all: all, mean: mean, done: done}
+	})
+
+	for row, v := range variants {
 		var alls, means []float64
 		okAll := true
-		for seed := 0; seed < o.seeds(); seed++ {
-			phy := v.phy(udwn.DefaultPHY())
-			nw := uniformNetwork(n, delta, phy, uint64(9000+seed))
-			opts := v.opts(udwn.SimOptions{
-				Seed:       uint64(seed + 1),
-				Primitives: sim.CD | sim.ACK,
-			})
-			all, mean, done := localRun(nw, n, func(id int) sim.Protocol {
-				return core.NewLocalBcast(n, int64(id))
-			}, opts, tickCap)
-			alls = append(alls, all)
-			means = append(means, mean)
-			okAll = okAll && done
+		for _, r := range grid[row] {
+			alls = append(alls, r.all)
+			means = append(means, r.mean)
+			okAll = okAll && r.done
 		}
 		t.AddRowf(v.name, stats.Mean(alls), stats.Mean(means), fmt.Sprintf("%v", okAll))
 	}

@@ -28,23 +28,31 @@ func Table7NoCS(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 7: the price of carrier sensing (LocalBcast vs probing CD, Δ≈%d, %d seeds)", delta, o.seeds()),
 		"n", "epoch len", "LocalBcast(CD)", "NoCS(probing)", "NoCS/LB", "ratio/epoch")
 
-	for _, n := range sizes {
+	type cell struct{ lb, nocs float64 }
+	grid := runSeedGrid(o, len(sizes), func(row, seed int) cell {
+		n := sizes[row]
 		epoch := (int(math.Ceil(math.Log2(float64(n)))) + 1) * probes
 		maxTicks := 3000 * epoch
+		nw := uniformNetwork(n, delta, phy, uint64(11000+n+seed))
+		runSeed := uint64(seed + 1)
+
+		var c cell
+		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return core.NewLocalBcast(n, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+
+		c.nocs, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+			return core.NewNoCSLocalBcast(n, probes, int64(id))
+		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
+		return c
+	})
+
+	for row, n := range sizes {
+		epoch := (int(math.Ceil(math.Log2(float64(n)))) + 1) * probes
 		var lb, nocs []float64
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw := uniformNetwork(n, delta, phy, uint64(11000+n+seed))
-			runSeed := uint64(seed + 1)
-
-			all, _, _ := localRun(nw, n, func(id int) sim.Protocol {
-				return core.NewLocalBcast(n, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
-			lb = append(lb, all)
-
-			all, _, _ = localRun(nw, n, func(id int) sim.Protocol {
-				return core.NewNoCSLocalBcast(n, probes, int64(id))
-			}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
-			nocs = append(nocs, all)
+		for _, c := range grid[row] {
+			lb = append(lb, c.lb)
+			nocs = append(nocs, c.nocs)
 		}
 		ml, mn := stats.Mean(lb), stats.Mean(nocs)
 		t.AddRowf(n, epoch, ml, mn,

@@ -47,29 +47,40 @@ func Table8Fading(o Options) fmt.Stringer {
 		}},
 	}
 
-	for _, ch := range channels {
+	type result struct {
+		cov    []float64 // coverage ticks of covered nodes, node order
+		total  int
+		atomic float64
+	}
+	grid := runSeedGrid(o, len(channels), func(row, seed int) result {
+		nw, tick := channels[row].mk(uint64(12000 + seed))
+		s := coverageSim(nw, n, uint64(seed+1), tick)
+		s.RunUntil(func(s *sim.Sim) bool {
+			for v := 0; v < n; v++ {
+				if s.FirstFullCoverage(v) < 0 {
+					return false
+				}
+			}
+			return true
+		}, maxTicks)
+		r := result{total: n, atomic: float64(s.TotalMassDeliveries())}
+		for v := 0; v < n; v++ {
+			if tk := s.FirstFullCoverage(v); tk >= 0 {
+				r.cov = append(r.cov, float64(tk))
+			}
+		}
+		return r
+	})
+
+	for row, ch := range channels {
 		var cov []float64
 		var atomic []float64
 		covered, total := 0, 0
-		for seed := 0; seed < o.seeds(); seed++ {
-			nw, tick := ch.mk(uint64(12000 + seed))
-			s := coverageSim(nw, n, uint64(seed+1), tick)
-			s.RunUntil(func(s *sim.Sim) bool {
-				for v := 0; v < n; v++ {
-					if s.FirstFullCoverage(v) < 0 {
-						return false
-					}
-				}
-				return true
-			}, maxTicks)
-			for v := 0; v < n; v++ {
-				total++
-				if tk := s.FirstFullCoverage(v); tk >= 0 {
-					covered++
-					cov = append(cov, float64(tk))
-				}
-			}
-			atomic = append(atomic, float64(s.TotalMassDeliveries()))
+		for _, r := range grid[row] {
+			cov = append(cov, r.cov...)
+			covered += len(r.cov)
+			total += r.total
+			atomic = append(atomic, r.atomic)
 		}
 		sum := stats.Summarize(cov)
 		t.AddRowf(ch.name, fmt.Sprintf("%d/%d", covered, total), sum.Mean, sum.P95,

@@ -29,36 +29,37 @@ func Table9MultiMessage(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 9: k-message broadcast on a strip (n=%d, %d seeds)", n, o.seeds()),
 		"k", "rounds", "rounds/k", "rounds vs k=1")
 
-	var base float64
-	for _, k := range ks {
-		var rounds []float64
-		for seed := 0; seed < o.seeds(); seed++ {
-			pts, _ := connectedStrip(n, length, rb, uint64(14000+31*k+seed))
-			nw := udwn.NewSINRNetwork(pts, phy)
-			ntd := nw.NTDThreshold(phy.Eps / 2)
-			// Sources spread evenly along the strip by index.
-			isSource := make(map[int]int64, k)
-			for i := 0; i < k; i++ {
-				isSource[i*n/k] = int64(1000 + i)
-			}
-			s := mustSim(nw, func(id int) sim.Protocol {
-				if msg, ok := isSource[id]; ok {
-					return core.NewMultiBcast(n, ntd, msg)
-				}
-				return core.NewMultiBcast(n, ntd)
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
-				SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD})
-			ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
-				for v := 0; v < n; v++ {
-					if s.Protocol(v).(*core.MultiBcast).Known() < k {
-						return false
-					}
-				}
-				return true
-			}, 800000)
-			rounds = append(rounds, float64(ticks)/2)
+	grid := runSeedGrid(o, len(ks), func(row, seed int) float64 {
+		k := ks[row]
+		pts, _ := connectedStrip(n, length, rb, uint64(14000+31*k+seed))
+		nw := udwn.NewSINRNetwork(pts, phy)
+		ntd := nw.NTDThreshold(phy.Eps / 2)
+		// Sources spread evenly along the strip by index.
+		isSource := make(map[int]int64, k)
+		for i := 0; i < k; i++ {
+			isSource[i*n/k] = int64(1000 + i)
 		}
-		m := stats.Mean(rounds)
+		s := mustSim(nw, func(id int) sim.Protocol {
+			if msg, ok := isSource[id]; ok {
+				return core.NewMultiBcast(n, ntd, msg)
+			}
+			return core.NewMultiBcast(n, ntd)
+		}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+			SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD})
+		ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
+			for v := 0; v < n; v++ {
+				if s.Protocol(v).(*core.MultiBcast).Known() < k {
+					return false
+				}
+			}
+			return true
+		}, 800000)
+		return float64(ticks) / 2
+	})
+
+	var base float64
+	for row, k := range ks {
+		m := stats.Mean(grid[row])
 		if k == ks[0] {
 			base = m
 		}
