@@ -170,3 +170,12 @@ func BenchmarkTable11StableDistance(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkTable12Faults(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if experiment.Table12Faults(o).String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}

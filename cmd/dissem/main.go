@@ -10,6 +10,8 @@
 //	dissem -alg local -model sinr -n 512 -churn 0.01 -async
 //	dissem -alg local -n 256 -trace run.jsonl
 //	dissem -alg bcast-star -n 300 -strip 300 -svg wave.svg
+//	dissem -alg local -n 256 -fault-jam 0.05 -fault-drop 0.2
+//	dissem -alg bcast -n 400 -strip 400 -fault-crash 0.005 -fault-sense 0.1
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"udwn/internal/baseline"
 	"udwn/internal/core"
 	"udwn/internal/dynamics"
+	"udwn/internal/faults"
 	"udwn/internal/geom"
 	"udwn/internal/sim"
 	"udwn/internal/trace"
@@ -49,6 +52,32 @@ type flags struct {
 	async    bool
 	trace    string
 	svg      string
+
+	// Fault injection (internal/faults); any non-zero rate arms the engine.
+	faultCrash float64
+	faultDown  int
+	faultJam   float64
+	faultDeaf  float64
+	faultDrop  float64
+	faultSense float64
+	faultStall float64
+}
+
+// faultSpec assembles the declarative fault spec from the flags. The fault
+// seed is derived from the run seed, keeping the whole run a pure function
+// of -seed.
+func (f flags) faultSpec() faults.Spec {
+	return faults.Spec{
+		Seed:          f.seed ^ 0xfa017,
+		CrashRate:     f.faultCrash,
+		CrashDowntime: f.faultDown,
+		JamFraction:   f.faultJam,
+		DeafFraction:  f.faultDeaf,
+		DropRate:      f.faultDrop,
+		SenseRate:     f.faultSense,
+		StallRate:     f.faultStall,
+		StallLen:      100,
+	}
 }
 
 func parseFlags() flags {
@@ -65,6 +94,13 @@ func parseFlags() flags {
 	flag.BoolVar(&f.async, "async", false, "locally-synchronous clocks")
 	flag.StringVar(&f.trace, "trace", "", "write a JSONL slot trace to this file")
 	flag.StringVar(&f.svg, "svg", "", "render the outcome (completion-time heatmap) to this SVG file")
+	flag.Float64Var(&f.faultCrash, "fault-crash", 0, "per-tick crash probability (nodes restart after -fault-down ticks)")
+	flag.IntVar(&f.faultDown, "fault-down", 100, "crash downtime in ticks")
+	flag.Float64Var(&f.faultJam, "fault-jam", 0, "fraction of nodes that are stuck transmitters (undecodable carrier)")
+	flag.Float64Var(&f.faultDeaf, "fault-deaf", 0, "fraction of nodes with deaf receivers")
+	flag.Float64Var(&f.faultDrop, "fault-drop", 0, "per-reception message drop probability")
+	flag.Float64Var(&f.faultSense, "fault-sense", 0, "per-observation CD/ACK/NTD corruption probability")
+	flag.Float64Var(&f.faultStall, "fault-stall", 0, "per-tick clock stall probability (100-tick stalls)")
 	flag.Parse()
 	f.seed = *seed
 	return f
@@ -86,6 +122,18 @@ func run() error {
 		Async:      f.async,
 		Primitives: sim.CD | sim.ACK,
 		Dynamic:    f.walk > 0,
+	}
+	var eng *faults.Engine
+	if spec := f.faultSpec(); spec.Enabled() {
+		spec.Protect = []int{0} // keep the source / node 0 measurable
+		eng = faults.New(spec)
+		opts.Injector = eng
+	}
+	// faulty excludes permanently fault-ridden nodes (stuck transmitters,
+	// deaf receivers) from completion predicates: they can never finish.
+	faulty := func(int) bool { return false }
+	if eng != nil {
+		faulty = eng.Faulty
 	}
 	global := false
 	var factory sim.ProtocolFactory
@@ -166,7 +214,7 @@ func run() error {
 			// the protocol for payload receipt.
 			pred = func(s *sim.Sim) bool {
 				for v := 0; v < f.n; v++ {
-					if s.Alive(v) && !s.Protocol(v).(*core.SpontBcast).Informed() {
+					if s.Alive(v) && !faulty(v) && !s.Protocol(v).(*core.SpontBcast).Informed() {
 						return false
 					}
 				}
@@ -175,7 +223,7 @@ func run() error {
 		} else {
 			pred = func(s *sim.Sim) bool {
 				for v := 0; v < f.n; v++ {
-					if s.Alive(v) && s.FirstDecode(v) < 0 {
+					if s.Alive(v) && !faulty(v) && s.FirstDecode(v) < 0 {
 						return false
 					}
 				}
@@ -185,7 +233,7 @@ func run() error {
 	} else {
 		pred = func(s *sim.Sim) bool {
 			for v := 0; v < f.n; v++ {
-				if s.Alive(v) && s.FirstMassDelivery(v) < 0 {
+				if s.Alive(v) && !faulty(v) && s.FirstMassDelivery(v) < 0 {
 					return false
 				}
 			}
@@ -195,6 +243,12 @@ func run() error {
 
 	ticks, done := dynamics.RunUntil(s, drv, pred, f.maxTicks)
 	report(s, f, ticks, done, global)
+	if eng != nil {
+		fmt.Printf("  faults: %s\n", eng.Counters())
+	}
+	if bad := s.InvalidOps(); bad > 0 {
+		fmt.Printf("  invalid-ops: %d\n", bad)
+	}
 	if f.svg != "" {
 		if err := renderSVG(s, pts, f, ticks, global); err != nil {
 			return err
@@ -233,6 +287,7 @@ func buildSim(nw *udwn.Network, factory sim.ProtocolFactory, o udwn.SimOptions, 
 		BusyScale:  nw.PHY.BusyScale,
 		AckScale:   nw.PHY.AckScale,
 		Observer:   rec.Record,
+		Injector:   o.Injector,
 	}
 	return sim.New(cfg, factory)
 }

@@ -23,6 +23,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	seeds := flag.Int("seeds", 0, "repetitions per cell (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent grid cells (0 = all CPUs, 1 = sequential)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; overrunning cells are marked FAILED (0 = none)")
+	retries := flag.Int("retries", 0, "retry budget for panicking or overrunning cells")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -41,6 +43,12 @@ func main() {
 		opts.Seeds = *seeds
 	}
 	opts.Workers = *workers
+	opts.CellTimeout = *cellTimeout
+	opts.Retries = *retries
+	// One shared report: each experiment renders its own FAILED lines and
+	// the suite summarises degraded cells at the end instead of aborting.
+	report := experiment.NewRunReport()
+	opts.Report = report
 
 	selected := experiment.All()
 	if args := flag.Args(); len(args) > 0 {
@@ -60,5 +68,10 @@ func main() {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		fmt.Println(e.Run(opts))
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failures := report.Failures(); len(failures) > 0 {
+		fmt.Printf("=== %d degraded cell(s) [%s] ===\n%s",
+			len(failures), report.Counters(), report)
+		os.Exit(2)
 	}
 }

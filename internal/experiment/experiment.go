@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"udwn"
 	"udwn/internal/sim"
@@ -25,6 +26,20 @@ type Options struct {
 	// every value — each cell is a pure function of its seeds and the merge
 	// order is fixed (see grid.go).
 	Workers int
+	// CellTimeout is the per-cell deadline; a cell that overruns it is
+	// cancelled (abandoned) and marked FAILED instead of hanging the run.
+	// Zero disables deadlines. Deadline outcomes are machine-dependent, so
+	// leave this zero for golden/recorded runs.
+	CellTimeout time.Duration
+	// Retries is the per-cell retry budget after a panic or timeout.
+	Retries int
+	// Report, when non-nil, switches grids to self-healing mode: failing
+	// cells are recorded here with their (experiment, cell, seed) identity
+	// and the remaining cells complete. Runs through All() always get one.
+	Report *RunReport
+	// Name attributes failures to an experiment id; set by the registry
+	// wrapper, runners need not touch it.
+	Name string
 }
 
 // DefaultOptions returns the settings used for the recorded EXPERIMENTS.md
@@ -58,9 +73,12 @@ type Experiment struct {
 	Run func(o Options) fmt.Stringer
 }
 
-// All returns every experiment in report order.
+// All returns every experiment in report order. Every returned runner is
+// self-healing: failures of individual grid cells are attributed and
+// rendered as FAILED(...) markers instead of aborting the run (see
+// withReport).
 func All() []Experiment {
-	return []Experiment{
+	list := []Experiment{
 		{ID: "figure1", Title: "Try&Adjust contention convergence (Prop. 3.1)", Run: Figure1Contention},
 		{ID: "table1", Title: "Local broadcast vs max degree (Cor. 4.3)", Run: Table1LocalDelta},
 		{ID: "table2", Title: "Local broadcast vs network size (Cor. 4.3, uniformity)", Run: Table2LocalN},
@@ -76,7 +94,38 @@ func All() []Experiment {
 		{ID: "figure4", Title: "Contention re-stabilisation under adversarial hot joins", Run: Figure4Stabilisation},
 		{ID: "table10", Title: "Multi-channel local broadcast (naive tuning, negative ablation)", Run: Table10MultiChannel},
 		{ID: "table11", Title: "Dynamic broadcast vs stable distance (Thm. 5.1)", Run: Table11StableDistance},
+		{ID: "table12", Title: "Graceful degradation under injected faults (jam, corruption, crashes)", Run: Table12Faults},
 	}
+	for i := range list {
+		list[i].Run = withReport(list[i].ID, list[i].Run)
+	}
+	return list
+}
+
+// withReport wraps a runner so every run through the registry is
+// self-healing: o.Name carries the experiment id for failure attribution, a
+// RunReport is supplied when the caller did not pass one, and the rendered
+// output gains one FAILED(...) line per degraded cell (nothing when clean).
+func withReport(id string, run func(Options) fmt.Stringer) func(Options) fmt.Stringer {
+	return func(o Options) fmt.Stringer {
+		o.Name = id
+		if o.Report == nil {
+			o.Report = NewRunReport()
+		}
+		return reportedResult{res: run(o), id: id, report: o.Report}
+	}
+}
+
+// reportedResult renders an experiment's own output plus the FAILED markers
+// of its degraded cells.
+type reportedResult struct {
+	res    fmt.Stringer
+	id     string
+	report *RunReport
+}
+
+func (r reportedResult) String() string {
+	return r.res.String() + r.report.render(r.id)
 }
 
 // Lookup returns the experiment with the given id.

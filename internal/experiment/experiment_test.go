@@ -17,8 +17,8 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(seen))
+	if len(seen) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(seen))
 	}
 }
 
@@ -64,6 +64,7 @@ func TestExperimentsQuickRun(t *testing.T) {
 		"figure4": "contention",
 		"table10": "channels",
 		"table11": "stable",
+		"table12": "fault scenario",
 	}
 	o := Options{Seeds: 1, Quick: true}
 	for _, e := range All() {

@@ -3,7 +3,12 @@ package experiment
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
+	"time"
+
+	"udwn/internal/trace"
 )
 
 // This file is the parallel execution engine of the experiment suite.
@@ -24,6 +29,15 @@ import (
 // randomness flows through per-Sim rng.Sources; package vars are interface
 // assertions only), so cells built this way are data-race free by
 // construction. TestParallelRace and the -race tier-1 gate enforce this.
+//
+// The scheduler is self-healing: with Options.Report set, a panicking or
+// deadline-overrunning cell no longer aborts the run. The failure is
+// attributed to its (experiment, cell index, label) identity — labels carry
+// the (row, seed) grid coordinates — retried within Options.Retries, and
+// finally recorded in the RunReport while every other cell completes. The
+// rendered output marks degraded cells as explicit FAILED(...) lines.
+// Without a Report, Run keeps the historical behaviour: it panics with the
+// lowest failing cell index, so even failures are deterministic.
 
 // Cell is one independent unit of an experiment grid: a closure returning
 // the typed measurements of a single (cell, seed) entry.
@@ -31,22 +45,224 @@ type Cell[T any] func() T
 
 // Grid is an ordered collection of cells. The zero value is ready to use.
 type Grid[T any] struct {
-	cells []Cell[T]
+	cells  []Cell[T]
+	labels []string
 }
 
-// Add declares the next cell in merge order.
-func (g *Grid[T]) Add(c Cell[T]) {
+// Add declares the next cell in merge order with no identity label.
+func (g *Grid[T]) Add(c Cell[T]) { g.AddLabeled("", c) }
+
+// AddLabeled declares the next cell in merge order together with an
+// identity label (e.g. "row=1 seed=3") used to attribute failures.
+func (g *Grid[T]) AddLabeled(label string, c Cell[T]) {
 	g.cells = append(g.cells, c)
+	g.labels = append(g.labels, label)
 }
 
 // Len returns the number of declared cells.
 func (g *Grid[T]) Len() int { return len(g.cells) }
 
+// Failure identifies one grid cell that produced no result: which
+// experiment, which cell (declaration index plus the runner's label, which
+// encodes the (row, seed) coordinates), how many attempts were made, and
+// why the last one died.
+type Failure struct {
+	Experiment string
+	Cell       int
+	Label      string
+	Attempts   int
+	// Reason is the first line of the panic value, or the deadline message
+	// for cells that overran their CellTimeout.
+	Reason string
+	// Stack is the goroutine stack of the last panicking attempt; empty
+	// for timeouts. It is kept out of rendered output (stacks are not
+	// byte-stable) but available for debugging.
+	Stack string
+}
+
+// String renders the failure as the explicit marker experiment output
+// embeds in place of the degraded cell's contribution.
+func (f Failure) String() string {
+	exp := f.Experiment
+	if exp == "" {
+		exp = "grid"
+	}
+	label := f.Label
+	if label == "" {
+		label = "?"
+	}
+	return fmt.Sprintf("FAILED(%s cell %d [%s] after %d attempt(s)): %s",
+		exp, f.Cell, label, f.Attempts, f.Reason)
+}
+
+// RunReport collects the failures and failure counters of self-healing grid
+// runs. One report may span several experiments (cmd/experiments shares one
+// across the whole suite); it is safe for concurrent use by grid workers.
+type RunReport struct {
+	mu       sync.Mutex
+	failures []Failure
+	counters *trace.Counters
+}
+
+// NewRunReport returns an empty report.
+func NewRunReport() *RunReport {
+	return &RunReport{counters: trace.NewCounters()}
+}
+
+func (r *RunReport) add(f Failure) {
+	r.mu.Lock()
+	r.failures = append(r.failures, f)
+	r.mu.Unlock()
+}
+
+// Failures returns the recorded failures sorted by (experiment, cell
+// index), so reporting is deterministic regardless of worker scheduling.
+func (r *RunReport) Failures() []Failure {
+	r.mu.Lock()
+	out := append([]Failure(nil), r.failures...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// Counters exposes the failure counters ("cell-panics", "cell-timeouts",
+// "cell-retries", "cell-recovered").
+func (r *RunReport) Counters() *trace.Counters { return r.counters }
+
+// render returns the FAILED lines for one experiment id ("" = all), each
+// newline-terminated; "" when the run was clean.
+func (r *RunReport) render(exp string) string {
+	var b strings.Builder
+	for _, f := range r.Failures() {
+		if exp != "" && f.Experiment != exp {
+			continue
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders every recorded failure, one FAILED line each.
+func (r *RunReport) String() string { return r.render("") }
+
+// cellFail is the outcome of one failed attempt.
+type cellFail struct {
+	reason  string
+	stack   string
+	timeout bool
+}
+
+// firstLine flattens a panic value to its first line for deterministic
+// rendering.
+func firstLine(v any) string {
+	s := fmt.Sprint(v)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// attempt runs cell i once. With no deadline it runs inline; with one, it
+// runs in a goroutine raced against a timer. A cell that overruns its
+// deadline is cancelled from the scheduler's point of view: the worker
+// stops waiting and moves on, and the abandoned goroutine parks its
+// eventual result in a buffered channel nobody reads, so a late completion
+// can never race the merged results.
+func (g *Grid[T]) attempt(i int, deadline time.Duration) (val T, fail *cellFail) {
+	if deadline <= 0 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					fail = &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
+				}
+			}()
+			val = g.cells[i]()
+		}()
+		return val, fail
+	}
+	type res struct {
+		val  T
+		fail *cellFail
+	}
+	ch := make(chan res, 1)
+	go func() {
+		var r res
+		defer func() { ch <- r }()
+		defer func() {
+			if p := recover(); p != nil {
+				r.fail = &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
+			}
+		}()
+		r.val = g.cells[i]()
+	}()
+	t := time.NewTimer(deadline)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.val, r.fail
+	case <-t.C:
+		return val, &cellFail{
+			reason:  fmt.Sprintf("cell deadline %s exceeded", deadline),
+			timeout: true,
+		}
+	}
+}
+
+// runCell evaluates cell i with o's deadline and retry budget, storing the
+// result into out on success. It returns the attributed failure once the
+// budget is exhausted, nil on success.
+func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
+	attempts := 1 + o.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last *cellFail
+	for a := 1; a <= attempts; a++ {
+		val, fail := g.attempt(i, o.CellTimeout)
+		if fail == nil {
+			out[i] = val
+			if a > 1 && o.Report != nil {
+				o.Report.counters.Add("cell-recovered", 1)
+			}
+			return nil
+		}
+		last = fail
+		if o.Report != nil {
+			if fail.timeout {
+				o.Report.counters.Add("cell-timeouts", 1)
+			} else {
+				o.Report.counters.Add("cell-panics", 1)
+			}
+			if a < attempts {
+				o.Report.counters.Add("cell-retries", 1)
+			}
+		}
+	}
+	return &Failure{
+		Experiment: o.Name,
+		Cell:       i,
+		Label:      g.labels[i],
+		Attempts:   attempts,
+		Reason:     last.reason,
+		Stack:      last.stack,
+	}
+}
+
 // Run evaluates every cell on up to o.workers() concurrent workers and
 // returns the results in declaration order. With one worker the cells run
 // in the calling goroutine in declaration order — exactly the historical
-// sequential behaviour. A panicking cell panics Run with the cell index and
-// the original message; when several cells panic, the lowest index wins, so
+// sequential behaviour.
+//
+// With o.Report set the run is self-healing (see the file comment): failed
+// cells leave the zero T in their slot and are recorded in the report.
+// Without it, a failing cell panics Run with the cell index and the
+// original message; when several cells fail, the lowest index wins, so
 // even failures are deterministic.
 func (g *Grid[T]) Run(o Options) []T {
 	out := make([]T, len(g.cells))
@@ -54,31 +270,26 @@ func (g *Grid[T]) Run(o Options) []T {
 	if workers > len(g.cells) {
 		workers = len(g.cells)
 	}
+	heal := o.Report != nil
+
 	if workers <= 1 {
-		for i, c := range g.cells {
-			i, c := i, c
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						panic(fmt.Sprintf("experiment: grid cell %d: %v\n%s",
-							i, r, debug.Stack()))
-					}
-				}()
-				out[i] = c()
-			}()
+		for i := range g.cells {
+			if f := g.runCell(i, o, out); f != nil {
+				if heal {
+					o.Report.add(*f)
+					continue
+				}
+				panic(fmt.Sprintf("experiment: grid cell %d: %s\n%s",
+					f.Cell, f.Reason, f.Stack))
+			}
 		}
 		return out
 	}
 
-	type cellPanic struct {
-		idx   int
-		val   any
-		stack []byte
-	}
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
-		firstPan *cellPanic
+		firstPan *Failure
 	)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -86,19 +297,19 @@ func (g *Grid[T]) Run(o Options) []T {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							p := &cellPanic{idx: i, val: r, stack: debug.Stack()}
-							panicMu.Lock()
-							if firstPan == nil || p.idx < firstPan.idx {
-								firstPan = p
-							}
-							panicMu.Unlock()
-						}
-					}()
-					out[i] = g.cells[i]()
-				}()
+				f := g.runCell(i, o, out)
+				if f == nil {
+					continue
+				}
+				if heal {
+					o.Report.add(*f)
+					continue
+				}
+				panicMu.Lock()
+				if firstPan == nil || f.Cell < firstPan.Cell {
+					firstPan = f
+				}
+				panicMu.Unlock()
 			}
 		}()
 	}
@@ -108,8 +319,8 @@ func (g *Grid[T]) Run(o Options) []T {
 	close(idx)
 	wg.Wait()
 	if firstPan != nil {
-		panic(fmt.Sprintf("experiment: grid cell %d: %v\n%s",
-			firstPan.idx, firstPan.val, firstPan.stack))
+		panic(fmt.Sprintf("experiment: grid cell %d: %s\n%s",
+			firstPan.Cell, firstPan.Reason, firstPan.Stack))
 	}
 	return out
 }
@@ -117,14 +328,16 @@ func (g *Grid[T]) Run(o Options) []T {
 // runSeedGrid is the common grid shape: rows × o.seeds() cells, where
 // fn(row, seed) computes one entry. Results come back as [row][seed], so
 // runners aggregate with the same row-major, seed-minor loops they always
-// used.
+// used. Cells are labelled with their (row, seed) coordinates so failures
+// stay attributable.
 func runSeedGrid[T any](o Options, rows int, fn func(row, seed int) T) [][]T {
 	seeds := o.seeds()
 	var g Grid[T]
 	for row := 0; row < rows; row++ {
 		for seed := 0; seed < seeds; seed++ {
 			row, seed := row, seed
-			g.Add(func() T { return fn(row, seed) })
+			g.AddLabeled(fmt.Sprintf("row=%d seed=%d", row, seed),
+				func() T { return fn(row, seed) })
 		}
 	}
 	flat := g.Run(o)

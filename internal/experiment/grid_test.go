@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,159 @@ func TestGridPanicPropagation(t *testing.T) {
 			g.Run(Options{Workers: workers})
 		}()
 	}
+}
+
+// With a Report the grid is self-healing: a panicking cell is recorded with
+// its (experiment, cell, label) identity and every other cell completes.
+func TestGridHealsPanic(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var g Grid[int]
+		for i := 0; i < 16; i++ {
+			i := i
+			g.AddLabeled(fmt.Sprintf("row=%d seed=0", i), func() int {
+				if i == 3 {
+					panic("boom")
+				}
+				return i + 100
+			})
+		}
+		report := NewRunReport()
+		res := g.Run(Options{Workers: workers, Report: report, Name: "table99"})
+		for i, v := range res {
+			want := i + 100
+			if i == 3 {
+				want = 0 // failed cells leave the zero value
+			}
+			if v != want {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, v, want)
+			}
+		}
+		fails := report.Failures()
+		if len(fails) != 1 {
+			t.Fatalf("workers=%d: %d failures, want 1: %v", workers, len(fails), fails)
+		}
+		f := fails[0]
+		if f.Experiment != "table99" || f.Cell != 3 || f.Label != "row=3 seed=0" ||
+			f.Reason != "boom" || f.Attempts != 1 {
+			t.Fatalf("workers=%d: failure identity wrong: %+v", workers, f)
+		}
+		if f.Stack == "" {
+			t.Fatalf("workers=%d: panic failure must carry a stack", workers)
+		}
+		want := "FAILED(table99 cell 3 [row=3 seed=0] after 1 attempt(s)): boom"
+		if f.String() != want {
+			t.Fatalf("workers=%d: marker %q, want %q", workers, f.String(), want)
+		}
+		if got := report.Counters().Get("cell-panics"); got != 1 {
+			t.Fatalf("workers=%d: cell-panics = %d, want 1", workers, got)
+		}
+	}
+}
+
+// A cell that exceeds its deadline is cancelled and marked FAILED — the run
+// completes instead of hanging, and the abandoned goroutine's late result
+// never contaminates the merged output.
+func TestGridDeadlineCancelsStuckCell(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		release := make(chan struct{})
+		var g Grid[int]
+		for i := 0; i < 8; i++ {
+			i := i
+			g.AddLabeled(fmt.Sprintf("row=%d seed=0", i), func() int {
+				if i == 5 {
+					<-release // stuck until the test ends
+					return -1
+				}
+				return i
+			})
+		}
+		report := NewRunReport()
+		done := make(chan []int, 1)
+		go func() {
+			done <- g.Run(Options{Workers: workers, Report: report,
+				CellTimeout: 50 * time.Millisecond, Name: "hang"})
+		}()
+		var res []int
+		select {
+		case res = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: run hung on the stuck cell", workers)
+		}
+		for i, v := range res {
+			want := i
+			if i == 5 {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, v, want)
+			}
+		}
+		fails := report.Failures()
+		if len(fails) != 1 || fails[0].Cell != 5 ||
+			!strings.Contains(fails[0].Reason, "deadline") {
+			t.Fatalf("workers=%d: wrong failures: %v", workers, fails)
+		}
+		if got := report.Counters().Get("cell-timeouts"); got != 1 {
+			t.Fatalf("workers=%d: cell-timeouts = %d, want 1", workers, got)
+		}
+		close(release) // unblock the abandoned goroutine
+	}
+}
+
+// A flaky cell succeeds within its retry budget and is not reported as a
+// failure; one that keeps panicking exhausts the budget with the attempt
+// count recorded.
+func TestGridRetryBudget(t *testing.T) {
+	var flakyCalls, brokenCalls atomic.Int64
+	var g Grid[int]
+	g.AddLabeled("flaky", func() int {
+		if flakyCalls.Add(1) == 1 {
+			panic("transient")
+		}
+		return 7
+	})
+	g.AddLabeled("broken", func() int {
+		brokenCalls.Add(1)
+		panic("permanent")
+	})
+	report := NewRunReport()
+	res := g.Run(Options{Workers: 1, Retries: 2, Report: report, Name: "retry"})
+	if res[0] != 7 {
+		t.Fatalf("flaky cell = %d, want 7 after retry", res[0])
+	}
+	if flakyCalls.Load() != 2 || brokenCalls.Load() != 3 {
+		t.Fatalf("attempts: flaky=%d broken=%d, want 2 and 3",
+			flakyCalls.Load(), brokenCalls.Load())
+	}
+	fails := report.Failures()
+	if len(fails) != 1 || fails[0].Cell != 1 || fails[0].Attempts != 3 ||
+		fails[0].Reason != "permanent" {
+		t.Fatalf("wrong failures: %+v", fails)
+	}
+	c := report.Counters()
+	if c.Get("cell-recovered") != 1 || c.Get("cell-panics") != 4 ||
+		c.Get("cell-retries") != 3 {
+		t.Fatalf("counters wrong: %s", c)
+	}
+}
+
+// Without a Report, deadlines still apply but failures keep the historical
+// contract: Run panics with the lowest failing cell index.
+func TestGridDeadlineWithoutReportPanics(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var g Grid[int]
+	g.Add(func() int { <-release; return 0 })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic without a report")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "deadline") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	g.Run(Options{Workers: 1, CellTimeout: 50 * time.Millisecond})
 }
 
 func TestRunSeedGridShape(t *testing.T) {

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"udwn/internal/geom"
+)
+
+// The mutators face raw CLI and driver input (cmd/dissem -kill, fault
+// schedules), so out-of-range node ids must be rejected as counted no-ops,
+// never a panic or an out-of-bounds write.
+func TestMutatorBoundsChecks(t *testing.T) {
+	cfg := lineConfig()
+	cfg.Dynamic = true
+	s := newSim(t, cfg, nil)
+	n := s.N()
+
+	for _, v := range []int{-1, n, n + 7} {
+		s.Kill(v)
+		s.Revive(v)
+		if err := s.Move(v, geom.Point{X: 1, Y: 1}); err == nil {
+			t.Fatalf("Move(%d) must return an error", v)
+		}
+	}
+	if got := s.InvalidOps(); got != 9 {
+		t.Fatalf("InvalidOps = %d, want 9 (3 ids × 3 mutators)", got)
+	}
+	for v := 0; v < n; v++ {
+		if !s.Alive(v) {
+			t.Fatalf("node %d no longer alive after rejected mutations", v)
+		}
+	}
+
+	// Valid ids still work and do not count as invalid.
+	s.Kill(1)
+	if s.Alive(1) {
+		t.Fatal("Kill(1) had no effect")
+	}
+	s.Revive(1)
+	if !s.Alive(1) {
+		t.Fatal("Revive(1) had no effect")
+	}
+	if err := s.Move(2, geom.Point{X: 3, Y: 0}); err != nil {
+		t.Fatalf("Move(2) on a dynamic Euclidean space failed: %v", err)
+	}
+	if got := s.InvalidOps(); got != 9 {
+		t.Fatalf("valid mutations bumped InvalidOps to %d", got)
+	}
+}
+
+// A rejected Move must not reach the space: the error path returns before
+// SetPoint, so positions are untouched.
+func TestMoveOutOfRangeLeavesTopologyIntact(t *testing.T) {
+	cfg := lineConfig()
+	cfg.Dynamic = true
+	s := newSim(t, cfg, map[int]map[int]bool{0: {0: true}})
+	if err := s.Move(-3, geom.Point{X: 100, Y: 100}); err == nil {
+		t.Fatal("Move(-3) must fail")
+	}
+	s.Step()
+	// Node 1 at distance 1 still decodes node 0: the topology is unchanged.
+	if len(proto(s, 1).obs[0].Received) != 1 {
+		t.Fatal("topology changed after a rejected Move")
+	}
+}

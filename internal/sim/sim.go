@@ -85,6 +85,10 @@ type Config struct {
 	// to atomic mass delivery. Costs O(n²) bits; used by the fading
 	// experiments, where per-slot atomic delivery is unrealistically strict.
 	TrackCoverage bool
+	// Injector, when non-nil, hooks deterministic fault injection into the
+	// tick loop (crash schedules, jammers, message drops, sensing
+	// corruption; see the Injector interface and internal/faults).
+	Injector Injector
 }
 
 // Sim is a running simulation. It is not safe for concurrent use.
@@ -108,6 +112,10 @@ type Sim struct {
 	slots  int
 	period []int
 	phase  []int
+
+	// invalidOps counts mutator calls (Kill/Revive/Move) that named an
+	// out-of-range node id and were rejected as no-ops.
+	invalidOps int64
 
 	// neigh caches, per node, the out-neighbours within rbAck (the larger
 	// of the two radii); nil when the space is dynamic.
@@ -137,6 +145,7 @@ type Sim struct {
 	scaleBuf   []float64
 	chanBuf    []int8
 	chanTx     [][]int
+	seizedBuf  []bool
 }
 
 // New constructs a simulation. Protocol instances for all nodes are created
@@ -318,13 +327,25 @@ func (s *Sim) AliveCount() int {
 func (s *Sim) Protocol(v int) Protocol { return s.protos[v] }
 
 // Kill removes node v from the network (churn departure). Killing a dead
-// node is a no-op.
-func (s *Sim) Kill(v int) { s.alive[v] = false }
+// node is a no-op, as is an out-of-range id (counted by InvalidOps) — the
+// mutators face raw CLI and driver input and must not panic on bad ids.
+func (s *Sim) Kill(v int) {
+	if v < 0 || v >= s.n {
+		s.invalidOps++
+		return
+	}
+	s.alive[v] = false
+}
 
 // Revive returns node v to the network with a fresh protocol instance and a
 // fresh random stream, modelling a churn arrival that starts from the
-// algorithm's initial configuration.
+// algorithm's initial configuration. Out-of-range ids are no-ops counted by
+// InvalidOps.
 func (s *Sim) Revive(v int) {
+	if v < 0 || v >= s.n {
+		s.invalidOps++
+		return
+	}
 	if s.alive[v] {
 		return
 	}
@@ -334,9 +355,18 @@ func (s *Sim) Revive(v int) {
 	s.protos[v] = s.factory(v)
 }
 
+// InvalidOps returns how many Kill/Revive/Move calls named an out-of-range
+// node id and were rejected as no-ops, for surfacing in run diagnostics.
+func (s *Sim) InvalidOps() int64 { return s.invalidOps }
+
 // Move relocates node v (mobility edge dynamics). It requires a Euclidean
-// space constructed with Dynamic: true.
+// space constructed with Dynamic: true. Out-of-range ids return an error
+// and are counted by InvalidOps.
 func (s *Sim) Move(v int, p geom.Point) error {
+	if v < 0 || v >= s.n {
+		s.invalidOps++
+		return fmt.Errorf("sim: Move: node id %d out of range [0,%d)", v, s.n)
+	}
 	if !s.cfg.Dynamic {
 		return errors.New("sim: Move requires Config.Dynamic")
 	}

@@ -80,8 +80,16 @@ func (vw *slotView) adjust(count, v int, r float64, excluding int) int {
 // Step advances the simulation by one tick (one slot).
 func (s *Sim) Step() {
 	slot := s.tick % s.slots
+	inj := s.cfg.Injector
+	if inj != nil {
+		// Phase 0: fault injection opens the tick (crash/restart schedules
+		// and stall bookkeeping run before any action is collected).
+		inj.BeginTick(s, s.tick)
+	}
 
-	// Phase 1: collect actions from acting nodes.
+	// Phase 1: collect actions from acting nodes. A seized node (stuck
+	// transmitter, stalled clock) contributes the injector's forced action
+	// instead of consulting its protocol.
 	nChan := s.cfg.Channels
 	s.actedBuf = s.actedBuf[:0]
 	s.txBuf = s.txBuf[:0]
@@ -89,6 +97,7 @@ func (s *Sim) Step() {
 		s.scaleBuf = make([]float64, s.n)
 		s.chanBuf = make([]int8, s.n)
 		s.chanTx = make([][]int, nChan)
+		s.seizedBuf = make([]bool, s.n)
 	}
 	for c := range s.chanTx {
 		s.chanTx[c] = s.chanTx[c][:0]
@@ -97,11 +106,21 @@ func (s *Sim) Step() {
 	for v := 0; v < s.n; v++ {
 		s.scaleBuf[v] = 1
 		s.chanBuf[v] = 0
-		if !s.alive[v] || !s.actsThisTick(v) {
+		s.seizedBuf[v] = false
+		if !s.alive[v] {
 			continue
 		}
-		s.actedBuf = append(s.actedBuf, v)
-		act := s.protos[v].Act(&s.nodes[v], slot)
+		var act Action
+		if inj != nil {
+			act, s.seizedBuf[v] = inj.Seized(v, s.tick)
+		}
+		if !s.seizedBuf[v] {
+			if !s.actsThisTick(v) {
+				continue
+			}
+			s.actedBuf = append(s.actedBuf, v)
+			act = s.protos[v].Act(&s.nodes[v], slot)
+		}
 		if nChan > 1 && act.Channel > 0 {
 			if act.Channel >= nChan {
 				act.Channel = nChan - 1
@@ -160,6 +179,11 @@ func (s *Sim) Step() {
 		}
 		vw := views[s.chanBuf[v]]
 		for _, u := range vw.tx {
+			if inj != nil && inj.DropRecv(u, v, s.tick) {
+				// Ground-truth loss: the frame never reaches v's protocol,
+				// so u's mass delivery and coverage miss v this slot too.
+				continue
+			}
 			// A power-scaled transmission is decodable only within the
 			// reduced range scale^{1/ζ}·R (exact for SINR, and the defining
 			// cutoff for models without a power notion).
@@ -274,11 +298,14 @@ func (s *Sim) Step() {
 				}
 			}
 		}
+		if inj != nil {
+			inj.Observation(v, s.tick, &obs)
+		}
 		s.protos[v].Observe(&s.nodes[v], slot, &obs)
 	}
 	if s.cfg.Async {
 		for v := 0; v < s.n; v++ {
-			if !s.alive[v] || len(s.recvBuf[v]) == 0 || s.actedThisTick(v) {
+			if !s.alive[v] || len(s.recvBuf[v]) == 0 || s.actedThisTick(v) || s.seizedBuf[v] {
 				continue
 			}
 			if h, ok := s.protos[v].(Hearer); ok {

@@ -3,11 +3,18 @@
 # race detector (the parallel experiment engine makes -race meaningful —
 # see internal/experiment/grid.go and TestParallelRace).
 #
+# Every go test carries an explicit -timeout: a stuck grid cell or a hung
+# deadline test must fail the gate with a goroutine dump, not wedge CI at
+# the default 10-minute-per-package limit times the package count.
+#
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./...
+go test -timeout 10m ./...
+go test -race -timeout 15m ./...
+# The fault engine feeds the sim tick loop from grid workers; exercise that
+# seam under the race detector explicitly even when the suites above shard.
+go test -race -timeout 5m ./internal/faults

@@ -196,6 +196,9 @@ type SimOptions struct {
 	Channels int
 	// TrackCoverage enables cumulative coverage accounting.
 	TrackCoverage bool
+	// Injector hooks deterministic fault injection into the tick loop
+	// (crash schedules, jammers, sensing corruption; see internal/faults).
+	Injector sim.Injector
 }
 
 // NewSim constructs a simulator over the network.
@@ -218,6 +221,7 @@ func (nw *Network) NewSim(factory sim.ProtocolFactory, o SimOptions) (*sim.Sim, 
 		AckScale:      nw.PHY.AckScale,
 		Channels:      o.Channels,
 		TrackCoverage: o.TrackCoverage,
+		Injector:      o.Injector,
 	}
 	s, err := sim.New(cfg, factory)
 	if err != nil {
