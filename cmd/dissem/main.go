@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"udwn"
 	"udwn/internal/baseline"
@@ -26,6 +27,7 @@ import (
 	"udwn/internal/dynamics"
 	"udwn/internal/faults"
 	"udwn/internal/geom"
+	"udwn/internal/metrics"
 	"udwn/internal/sim"
 	"udwn/internal/trace"
 	"udwn/internal/viz"
@@ -52,6 +54,11 @@ type flags struct {
 	async    bool
 	trace    string
 	svg      string
+
+	// Observability outputs (internal/metrics).
+	manifest   string
+	cpuprofile string
+	memprofile string
 
 	// Fault injection (internal/faults); any non-zero rate arms the engine.
 	faultCrash float64
@@ -94,6 +101,9 @@ func parseFlags() flags {
 	flag.BoolVar(&f.async, "async", false, "locally-synchronous clocks")
 	flag.StringVar(&f.trace, "trace", "", "write a JSONL slot trace to this file")
 	flag.StringVar(&f.svg, "svg", "", "render the outcome (completion-time heatmap) to this SVG file")
+	flag.StringVar(&f.manifest, "manifest", "", "write a JSON run manifest (config, metrics, counters) to this file")
+	flag.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU pprof profile to this file")
+	flag.StringVar(&f.memprofile, "memprofile", "", "write a heap pprof profile to this file")
 	flag.Float64Var(&f.faultCrash, "fault-crash", 0, "per-tick crash probability (nodes restart after -fault-down ticks)")
 	flag.IntVar(&f.faultDown, "fault-down", 100, "crash downtime in ticks")
 	flag.Float64Var(&f.faultJam, "fault-jam", 0, "fraction of nodes that are stuck transmitters (undecodable carrier)")
@@ -111,17 +121,28 @@ func run() error {
 	phy := udwn.DefaultPHY()
 	rb := (1 - phy.Eps) * phy.Range
 
+	if f.cpuprofile != "" {
+		stop, err := metrics.StartCPUProfile(f.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	start := time.Now()
+
 	var pts = buildPoints(f, rb)
 	nw, err := buildNetwork(f, pts, phy, rb)
 	if err != nil {
 		return err
 	}
 
+	reg := metrics.NewRegistry()
 	opts := udwn.SimOptions{
 		Seed:       f.seed,
 		Async:      f.async,
 		Primitives: sim.CD | sim.ACK,
 		Dynamic:    f.walk > 0,
+		Metrics:    reg,
 	}
 	var eng *faults.Engine
 	if spec := f.faultSpec(); spec.Enabled() {
@@ -261,7 +282,44 @@ func run() error {
 		}
 		fmt.Printf("  trace: %d events -> %s\n", rec.Events(), f.trace)
 	}
+	if f.manifest != "" {
+		if err := writeManifest(f, reg, eng, s, ticks, done, time.Since(start)); err != nil {
+			return err
+		}
+		fmt.Printf("  manifest: %s\n", f.manifest)
+	}
+	if f.memprofile != "" {
+		if err := metrics.WriteHeapProfile(f.memprofile); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeManifest records the run: effective flags, outcome, the simulator's
+// metric snapshot, and the fault engine's event counters when armed.
+func writeManifest(f flags, reg *metrics.Registry, eng *faults.Engine,
+	s *sim.Sim, ticks int, done bool, wall time.Duration) error {
+	m := metrics.NewManifest("dissem")
+	m.SetConfig("alg", f.alg)
+	m.SetConfig("model", f.model)
+	m.SetConfig("n", f.n)
+	m.SetConfig("delta", f.delta)
+	m.SetConfig("strip", f.strip)
+	m.SetConfig("seed", f.seed)
+	m.SetConfig("max-ticks", f.maxTicks)
+	m.SetConfig("churn", f.churn)
+	m.SetConfig("walk", f.walk)
+	m.SetConfig("async", f.async)
+	m.SetConfig("done", done)
+	m.SetConfig("ticks", ticks)
+	m.SetConfig("invalid-ops", s.InvalidOps())
+	m.WallNs = int64(wall)
+	m.Metrics = reg.Snapshot()
+	if eng != nil {
+		m.Counters = eng.Counters().Map()
+	}
+	return m.WriteFile(f.manifest)
 }
 
 // buildSim constructs the simulator, attaching the trace recorder through
@@ -288,6 +346,7 @@ func buildSim(nw *udwn.Network, factory sim.ProtocolFactory, o udwn.SimOptions, 
 		AckScale:   nw.PHY.AckScale,
 		Observer:   rec.Record,
 		Injector:   o.Injector,
+		Metrics:    o.Metrics,
 	}
 	return sim.New(cfg, factory)
 }

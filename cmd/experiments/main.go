@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seeds N] [-workers N] [id ...]
+//	experiments [-quick] [-seeds N] [-workers N] [-progress] [-manifest out.json] [id ...]
 //
 // With no ids, all experiments run in report order. Each experiment's
 // (cell × seed) grid is evaluated on -workers concurrent workers (default:
 // all CPUs); the output is byte-identical for every worker count.
+//
+// -progress renders a live "done/total cells, ETA" line on stderr.
+// -manifest writes a machine-readable run record — config, version, metric
+// snapshot, per-cell timings, failures — as JSON. -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"udwn/internal/experiment"
+	"udwn/internal/metrics"
 )
 
 func main() {
@@ -25,6 +32,10 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent grid cells (0 = all CPUs, 1 = sequential)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; overrunning cells are marked FAILED (0 = none)")
 	retries := flag.Int("retries", 0, "retry budget for panicking or overrunning cells")
+	progress := flag.Bool("progress", false, "render live done/total cells and ETA on stderr")
+	manifest := flag.String("manifest", "", "write a JSON run manifest (config, metrics, per-cell timings) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -33,6 +44,15 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		stop, err := metrics.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop()
 	}
 
 	opts := experiment.DefaultOptions()
@@ -49,6 +69,14 @@ func main() {
 	// the suite summarises degraded cells at the end instead of aborting.
 	report := experiment.NewRunReport()
 	opts.Report = report
+	// One shared registry: commutative counters merge every experiment's
+	// instrumentation deterministically regardless of worker count.
+	reg := metrics.NewRegistry()
+	opts.Metrics = reg
+	if *progress {
+		ui := &progressUI{out: os.Stderr}
+		opts.Progress = ui.report
+	}
 
 	selected := experiment.All()
 	if args := flag.Args(); len(args) > 0 {
@@ -63,15 +91,91 @@ func main() {
 		}
 	}
 
+	suiteStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		fmt.Println(e.Run(opts))
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
+
+	if *manifest != "" {
+		if err := writeManifest(*manifest, selected, opts, reg, report, time.Since(suiteStart)); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *memprofile != "" {
+		if err := metrics.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 	if failures := report.Failures(); len(failures) > 0 {
 		fmt.Printf("=== %d degraded cell(s) [%s] ===\n%s",
 			len(failures), report.Counters(), report)
 		os.Exit(2)
+	}
+}
+
+// writeManifest assembles the run record: effective configuration, the
+// merged metric snapshot, auxiliary counters, per-cell timings and any
+// failure markers.
+func writeManifest(path string, selected []experiment.Experiment,
+	opts experiment.Options, reg *metrics.Registry, report *experiment.RunReport,
+	wall time.Duration) error {
+	ids := make([]string, len(selected))
+	for i, e := range selected {
+		ids[i] = e.ID
+	}
+	m := metrics.NewManifest("experiments")
+	m.SetConfig("experiments", strings.Join(ids, " "))
+	m.SetConfig("quick", opts.Quick)
+	m.SetConfig("seeds", opts.Seeds)
+	m.SetConfig("workers", opts.Workers)
+	m.SetConfig("retries", opts.Retries)
+	m.SetConfig("cell-timeout", opts.CellTimeout)
+	m.WallNs = int64(wall)
+	m.Metrics = reg.Snapshot()
+	m.Counters = report.Counters().Map()
+	m.Cells = report.Timings()
+	for _, f := range report.Failures() {
+		m.Failures = append(m.Failures, f.String())
+	}
+	return m.WriteFile(path)
+}
+
+// progressUI renders the grid's serialised Progress stream as a single
+// \r-refreshed stderr line per experiment, throttled so tight grids do not
+// flood the terminal. The grid serialises callbacks, so no locking here.
+type progressUI struct {
+	out   *os.File
+	start time.Time
+	last  time.Time
+}
+
+func (p *progressUI) report(pr experiment.Progress) {
+	now := time.Now()
+	if pr.Done == 1 {
+		p.start = now // new grid: restart the rate estimate
+	}
+	final := pr.Done == pr.Total
+	if !final && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	line := fmt.Sprintf("%s %d/%d cells", pr.Experiment, pr.Done, pr.Total)
+	if pr.Failed > 0 {
+		line += fmt.Sprintf(" (%d failed)", pr.Failed)
+	}
+	if !final && pr.Done > 0 {
+		perCell := now.Sub(p.start) / time.Duration(pr.Done)
+		eta := perCell * time.Duration(pr.Total-pr.Done)
+		line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+	}
+	// Pad to blot out a longer previous line before the carriage return.
+	fmt.Fprintf(p.out, "\r%-60s", line)
+	if final {
+		fmt.Fprintln(p.out)
 	}
 }

@@ -1,10 +1,11 @@
 // Command traceinfo summarises a JSONL slot trace produced with
 // `dissem -trace`: channel utilisation over time, throughput, and the
-// busiest transmitters.
+// busiest transmitters. With -counters it instead renders the trace's
+// aggregate sensing and decode counters in the metrics layer's format.
 //
 // Usage:
 //
-//	traceinfo run.jsonl
+//	traceinfo [-buckets N] [-top K] [-counters] run.jsonl
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"udwn/internal/metrics"
 	"udwn/internal/sim"
 	"udwn/internal/trace"
 )
@@ -27,9 +29,10 @@ func main() {
 func run() error {
 	buckets := flag.Int("buckets", 10, "number of time buckets in the utilisation profile")
 	top := flag.Int("top", 5, "how many of the busiest transmitters to list")
+	counters := flag.Bool("counters", false, "render aggregate sensing/decode counters instead of the profile")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] <trace.jsonl>")
+		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] [-counters] <trace.jsonl>")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -44,8 +47,34 @@ func run() error {
 		fmt.Println("empty trace")
 		return nil
 	}
+	if *counters {
+		reportCounters(os.Stdout, events)
+		return nil
+	}
 	report(os.Stdout, events, *buckets, *top)
 	return nil
+}
+
+// reportCounters aggregates the per-slot tallies of the trace into the same
+// named counters the simulator's metrics registry records live (sim/tx,
+// sim/decodes, sensing outcomes), so a recorded trace can be summarised in
+// the format of a -manifest metric snapshot. The JSONL recorder skips
+// silent slots, so sim/slots counts *active* slots here, not total ticks.
+func reportCounters(w *os.File, events []sim.SlotEvent) {
+	c := metrics.NewCounters()
+	for _, ev := range events {
+		c.Add("sim/slots", 1)
+		c.Add("sim/tx", int64(len(ev.Transmitters)))
+		c.Add("sim/decodes", int64(ev.Decodes))
+		c.Add("sim/mass_deliveries", int64(len(ev.MassDeliverers)))
+		c.Add("sim/cd_busy", int64(ev.CDBusy))
+		c.Add("sim/cd_idle", int64(ev.CDIdle))
+		c.Add("sim/ack", int64(ev.Acks))
+		c.Add("sim/ntd", int64(ev.NTDs))
+	}
+	for _, name := range c.Names() {
+		fmt.Fprintf(w, "counter %s = %d\n", name, c.Get(name))
+	}
 }
 
 func report(w *os.File, events []sim.SlotEvent, buckets, top int) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"udwn"
+	"udwn/internal/metrics"
 	"udwn/internal/sim"
 	"udwn/internal/workload"
 )
@@ -40,6 +41,36 @@ type Options struct {
 	// Name attributes failures to an experiment id; set by the registry
 	// wrapper, runners need not touch it.
 	Name string
+	// Metrics, when non-nil, is the run-level registry: the grid times
+	// every cell into it ("grid/cell" timer, "grid/cells" counter) and
+	// runners thread it into their simulations via o.sim(...), so per-slot
+	// sim instrumentation from every cell aggregates here. All metric
+	// updates are commutative, so snapshots (modulo timing fields) are
+	// byte-identical across Workers counts — pinned by
+	// TestMetricsWorkersDeterminism.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, is invoked after every completed or failed
+	// grid cell with the grid's live done/total state. Callbacks are
+	// serialised by the grid, so implementations need no locking; they run
+	// on worker goroutines and must be fast.
+	Progress func(Progress)
+}
+
+// Progress is one live progress update of a grid run.
+type Progress struct {
+	// Experiment is the running experiment's id ("" outside the registry).
+	Experiment string
+	// Done counts cells that finished (including failed ones); Total is the
+	// grid size; Failed counts cells recorded as FAILED.
+	Done, Total, Failed int
+}
+
+// sim threads the run-level instrumentation into a runner's SimOptions;
+// runners wrap their literal options with it so every simulation they
+// construct reports into the shared registry.
+func (o Options) sim(so udwn.SimOptions) udwn.SimOptions {
+	so.Metrics = o.Metrics
+	return so
 }
 
 // DefaultOptions returns the settings used for the recorded EXPERIMENTS.md

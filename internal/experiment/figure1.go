@@ -51,7 +51,7 @@ func Figure1Contention(o Options) fmt.Stringer {
 		nw := uniformNetwork(n, delta, phy, uint64(1000+seed))
 		s, err := nw.NewSim(func(id int) sim.Protocol {
 			return core.NewBalancer(core.NewTryAdjustSpontaneous(p0))
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD}))
 		if err != nil {
 			panic(err)
 		}

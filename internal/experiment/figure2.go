@@ -52,8 +52,8 @@ func Figure2LowerBound(o Options) fmt.Stringer {
 				return core.NewBcastStarPC(n, 42, id == src, notifyScale)
 			}
 			return core.NewBcastStar(n, 42, id == src)
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
-			SenseEps: phy.Eps / 2, Primitives: prims})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+			SenseEps: phy.Eps / 2, Primitives: prims}))
 		s.MarkInformed(src)
 		ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
 			return s.FirstDecode(inst.Sink) >= 0

@@ -56,7 +56,7 @@ func Figure3CDF(o Options) fmt.Stringer {
 		nw := uniformNetwork(n, delta, phy, uint64(13000+seed))
 		opts := protos[row].opts
 		opts.Seed = uint64(seed + 1)
-		s := mustSim(nw, protos[row].factory, opts)
+		s := mustSim(nw, protos[row].factory, o.sim(opts))
 		s.RunUntil(func(s *sim.Sim) bool {
 			for v := 0; v < n; v++ {
 				if s.FirstMassDelivery(v) < 0 {

@@ -44,7 +44,7 @@ func Figure4Stabilisation(o Options) fmt.Stringer {
 		// Hot factory: every (re)join starts at p = 1/2.
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewBalancer(core.NewTryAdjustSpontaneous(0.5))
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD}))
 		burst := dynamics.NewBurstChurn(burstPeriod, frac, uint64(16000+seed))
 		samples := make([]float64, rounds)
 		for r := 0; r < rounds; r++ {

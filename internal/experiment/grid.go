@@ -3,11 +3,13 @@ package experiment
 import (
 	"fmt"
 	"runtime/debug"
+	rtmetrics "runtime/metrics"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"udwn/internal/metrics"
 	"udwn/internal/trace"
 )
 
@@ -102,6 +104,7 @@ type RunReport struct {
 	mu       sync.Mutex
 	failures []Failure
 	counters *trace.Counters
+	timings  []metrics.CellTiming
 }
 
 // NewRunReport returns an empty report.
@@ -133,6 +136,29 @@ func (r *RunReport) Failures() []Failure {
 // Counters exposes the failure counters ("cell-panics", "cell-timeouts",
 // "cell-retries", "cell-recovered").
 func (r *RunReport) Counters() *trace.Counters { return r.counters }
+
+func (r *RunReport) addTiming(ct metrics.CellTiming) {
+	r.mu.Lock()
+	r.timings = append(r.timings, ct)
+	r.mu.Unlock()
+}
+
+// Timings returns the per-cell cost records of every grid cell run under
+// this report, sorted by (experiment, cell index) so manifests are
+// deterministic regardless of worker scheduling. Wall-clock fields are
+// machine-dependent; everything else (identity, attempts, failed) is not.
+func (r *RunReport) Timings() []metrics.CellTiming {
+	r.mu.Lock()
+	out := append([]metrics.CellTiming(nil), r.timings...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
 
 // render returns the FAILED lines for one experiment id ("" = all), each
 // newline-terminated; "" when the run was clean.
@@ -214,10 +240,64 @@ func (g *Grid[T]) attempt(i int, deadline time.Duration) (val T, fail *cellFail)
 	}
 }
 
+// heapAllocBytes reads the process-wide cumulative heap allocation total —
+// cheaper than runtime.ReadMemStats (no stop-the-world) and good enough for
+// the per-cell budget deltas the manifest records. Under concurrent workers
+// the delta includes other cells' allocations; metrics.CellTiming documents
+// the caveat.
+func heapAllocBytes() int64 {
+	s := []rtmetrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		return int64(s[0].Value.Uint64())
+	}
+	return 0
+}
+
 // runCell evaluates cell i with o's deadline and retry budget, storing the
 // result into out on success. It returns the attributed failure once the
-// budget is exhausted, nil on success.
+// budget is exhausted, nil on success. With a Report or Metrics configured
+// the cell's total cost (wall clock across all attempts, heap allocation
+// delta when a registry is attached) is recorded as a CellTiming and into
+// the "grid/cell" timer.
 func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
+	instr := o.Metrics != nil
+	record := instr || o.Report != nil
+	var start time.Time
+	var alloc0 int64
+	if record {
+		start = time.Now()
+		if instr {
+			alloc0 = heapAllocBytes()
+		}
+	}
+	f, attempts := g.runCellAttempts(i, o, out)
+	if record {
+		wall := time.Since(start)
+		var allocs int64
+		if instr {
+			allocs = heapAllocBytes() - alloc0
+			o.Metrics.Counter("grid/cells").Inc()
+			o.Metrics.Timer("grid/cell").Observe(wall, allocs)
+		}
+		if o.Report != nil {
+			o.Report.addTiming(metrics.CellTiming{
+				Experiment: o.Name,
+				Cell:       i,
+				Label:      g.labels[i],
+				Attempts:   attempts,
+				Failed:     f != nil,
+				WallNs:     int64(wall),
+				AllocBytes: allocs,
+			})
+		}
+	}
+	return f
+}
+
+// runCellAttempts is runCell's retry loop, returning the final failure (nil
+// on success) and the number of attempts actually made.
+func (g *Grid[T]) runCellAttempts(i int, o Options, out []T) (*Failure, int) {
 	attempts := 1 + o.Retries
 	if attempts < 1 {
 		attempts = 1
@@ -230,7 +310,7 @@ func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
 			if a > 1 && o.Report != nil {
 				o.Report.counters.Add("cell-recovered", 1)
 			}
-			return nil
+			return nil, a
 		}
 		last = fail
 		if o.Report != nil {
@@ -251,7 +331,7 @@ func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
 		Attempts:   attempts,
 		Reason:     last.reason,
 		Stack:      last.stack,
-	}
+	}, attempts
 }
 
 // Run evaluates every cell on up to o.workers() concurrent workers and
@@ -272,9 +352,28 @@ func (g *Grid[T]) Run(o Options) []T {
 	}
 	heal := o.Report != nil
 
+	// notify serialises Progress callbacks across workers and keeps the
+	// done/failed tallies; the callback itself never runs concurrently.
+	var progMu sync.Mutex
+	done, failed := 0, 0
+	notify := func(cellFailed bool) {
+		if o.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		if cellFailed {
+			failed++
+		}
+		o.Progress(Progress{Experiment: o.Name, Done: done, Total: len(g.cells), Failed: failed})
+		progMu.Unlock()
+	}
+
 	if workers <= 1 {
 		for i := range g.cells {
-			if f := g.runCell(i, o, out); f != nil {
+			f := g.runCell(i, o, out)
+			notify(f != nil)
+			if f != nil {
 				if heal {
 					o.Report.add(*f)
 					continue
@@ -298,6 +397,7 @@ func (g *Grid[T]) Run(o Options) []T {
 			defer wg.Done()
 			for i := range idx {
 				f := g.runCell(i, o, out)
+				notify(f != nil)
 				if f == nil {
 					continue
 				}

@@ -38,15 +38,15 @@ func Table1LocalDelta(o Options) fmt.Stringer {
 		var c cell
 		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 
 		c.dec, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return baseline.NewDecay(n, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}), maxTicks)
 
 		c.fix, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return baseline.NewFixedProb(delta, 1, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}), maxTicks)
 		return c
 	})
 

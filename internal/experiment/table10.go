@@ -53,8 +53,8 @@ func Table10MultiChannel(o Options) fmt.Stringer {
 		nw := uniformNetwork(n, delta, phy, uint64(17000+100*delta+seed))
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewMCLocalBcast(n, ch, int64(id))
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Channels: ch,
-			Primitives: sim.CD | sim.ACK, TrackCoverage: true})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Channels: ch,
+			Primitives: sim.CD | sim.ACK, TrackCoverage: true}))
 		tk, _ := s.RunUntil(func(s *sim.Sim) bool {
 			for v := 0; v < n; v++ {
 				if s.FirstFullCoverage(v) < 0 {

@@ -62,9 +62,9 @@ func Table11StableDistance(o Options) fmt.Stringer {
 		nw := udwn.NewSINRNetwork(pts, phy)
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewBcast(n, 3, 42, id == 0)
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
 			SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD,
-			Dynamic: sc.dynamic})
+			Dynamic: sc.dynamic}))
 		s.MarkInformed(0)
 
 		var drv dynamics.Driver

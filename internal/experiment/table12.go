@@ -73,8 +73,8 @@ func Table12Faults(o Options) fmt.Stringer {
 			nw := uniformNetwork(n, delta, phy, uint64(21000+seed))
 			s := mustSim(nw, func(id int) sim.Protocol {
 				return core.NewLocalBcast(n, int64(id))
-			}, udwn.SimOptions{Seed: uint64(seed + 1),
-				Primitives: sim.CD | sim.ACK, Injector: eng})
+			}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1),
+				Primitives: sim.CD | sim.ACK, Injector: eng}))
 			healthy := healthyNodes(eng, n)
 			ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
 				return allDone(healthy, s.FirstMassDelivery)
@@ -94,9 +94,9 @@ func Table12Faults(o Options) fmt.Stringer {
 			nw := uniformNetwork(n, delta, phy, uint64(22000+seed))
 			s := mustSim(nw, func(id int) sim.Protocol {
 				return core.NewBcast(n, 3, 42, id == 0)
-			}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+			}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
 				SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD,
-				Injector: eng})
+				Injector: eng}))
 			s.MarkInformed(0)
 			healthy := healthyNodes(eng, n)
 			ticks, _ := s.RunUntil(func(s *sim.Sim) bool {

@@ -36,13 +36,13 @@ func Table2LocalN(o Options) fmt.Stringer {
 		var c cell
 		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 
 		// The uniform variant starts at an arbitrary constant
 		// probability with no floor and never consults n.
 		c.sp, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcastSpontaneous(0.25, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 		return c
 	})
 

@@ -48,8 +48,8 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		// Bcast*: two slots, ε/2 precision primitives.
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewBcastStar(n, 42, id == 0)
-		}, udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
-			Primitives: sim.CD | sim.ACK | sim.NTD})
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
+			Primitives: sim.CD | sim.ACK | sim.NTD}))
 		s.MarkInformed(0)
 		ticks, _ := s.RunUntil(broadcastDone(n), 400000)
 		c.bst = float64(ticks) / 2
@@ -59,8 +59,8 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		ntd := nw.NTDThreshold(phy.Eps / 2)
 		s = mustSim(nw, func(id int) sim.Protocol {
 			return core.NewSpontBcast(0.05, 1/(2*float64(n)), ntd, 42, id == 0)
-		}, udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
-			Primitives: sim.CD | sim.ACK | sim.NTD})
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Slots: 2, SenseEps: phy.Eps / 2,
+			Primitives: sim.CD | sim.ACK | sim.NTD}))
 		s.MarkInformed(0)
 		// "Informed" must mean payload receipt: dominator-construction
 		// traffic also produces decodes, so FirstDecode is too loose.
@@ -78,7 +78,7 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		// Decay flooding: single slot, no carrier sense at all.
 		s = mustSim(nw, func(id int) sim.Protocol {
 			return baseline.NewDecayBcast(n, 42, id == 0)
-		}, udwn.SimOptions{Seed: runSeed})
+		}, o.sim(udwn.SimOptions{Seed: runSeed}))
 		s.MarkInformed(0)
 		ticks, _ = s.RunUntil(broadcastDone(n), 400000)
 		c.dcy = float64(ticks)

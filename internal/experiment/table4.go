@@ -89,8 +89,8 @@ func Table4Dynamics(o Options) fmt.Stringer {
 		nw := uniformNetwork(n, delta, phy, uint64(7000+seed))
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK,
-			Dynamic: sc.mobile})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK,
+			Dynamic: sc.mobile}))
 		drv := sc.driver(uint64(40+seed), protectSet())
 		if w, ok := drv.(*dynamics.RandomWalk); ok {
 			w.Side = workload.SideForDegree(n, delta, rb)

@@ -69,7 +69,7 @@ func Table5CrossModel(o Options) fmt.Stringer {
 		nw := cells[row].mk(uint64(5000 + seed))
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Primitives: sim.CD | sim.ACK}))
 		degSum := 0.0
 		for v := 0; v < n; v++ {
 			degSum += float64(s.NeighborCount(v))

@@ -39,11 +39,11 @@ func Table7NoCS(o Options) fmt.Stringer {
 		var c cell
 		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 
 		c.nocs, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewNoCSLocalBcast(n, probes, int64(id))
-		}, udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}, maxTicks)
+		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}), maxTicks)
 		return c
 	})
 

@@ -54,7 +54,7 @@ func Table8Fading(o Options) fmt.Stringer {
 	}
 	grid := runSeedGrid(o, len(channels), func(row, seed int) result {
 		nw, tick := channels[row].mk(uint64(12000 + seed))
-		s := coverageSim(nw, n, uint64(seed+1), tick)
+		s := coverageSim(nw, n, uint64(seed+1), tick, o)
 		s.RunUntil(func(s *sim.Sim) bool {
 			for v := 0; v < n; v++ {
 				if s.FirstFullCoverage(v) < 0 {
@@ -92,7 +92,7 @@ func Table8Fading(o Options) fmt.Stringer {
 }
 
 // coverageSim rebuilds the simulator with coverage tracking enabled.
-func coverageSim(nw *udwn.Network, n int, seed uint64, tick *udwn.TickSource) *sim.Sim {
+func coverageSim(nw *udwn.Network, n int, seed uint64, tick *udwn.TickSource, o Options) *sim.Sim {
 	cfg := sim.Config{
 		Space:         nw.Space,
 		Model:         nw.Model,
@@ -105,6 +105,7 @@ func coverageSim(nw *udwn.Network, n int, seed uint64, tick *udwn.TickSource) *s
 		BusyScale:     nw.PHY.BusyScale,
 		AckScale:      nw.PHY.AckScale,
 		TrackCoverage: true,
+		Metrics:       o.Metrics,
 	}
 	s, err := sim.New(cfg, func(id int) sim.Protocol {
 		return core.NewLocalBcast(n, int64(id))

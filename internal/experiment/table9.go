@@ -44,8 +44,8 @@ func Table9MultiMessage(o Options) fmt.Stringer {
 				return core.NewMultiBcast(n, ntd, msg)
 			}
 			return core.NewMultiBcast(n, ntd)
-		}, udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
-			SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD})
+		}, o.sim(udwn.SimOptions{Seed: uint64(seed + 1), Slots: 2,
+			SenseEps: phy.Eps / 2, Primitives: sim.CD | sim.ACK | sim.NTD}))
 		ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
 			for v := 0; v < n; v++ {
 				if s.Protocol(v).(*core.MultiBcast).Known() < k {

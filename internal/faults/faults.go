@@ -20,9 +20,9 @@
 package faults
 
 import (
+	"udwn/internal/metrics"
 	"udwn/internal/rng"
 	"udwn/internal/sim"
-	"udwn/internal/trace"
 )
 
 // JamKind marks the undecodable carrier frames of stuck transmitters. The
@@ -100,7 +100,7 @@ type Engine struct {
 	restartAt []int // tick at which an engine-crashed node revives; -1 = up
 	stallEnd  []int // first tick at which the node's clock runs again
 
-	ctr *trace.Counters
+	ctr *metrics.Counters
 }
 
 var _ sim.Injector = (*Engine)(nil)
@@ -123,7 +123,7 @@ func New(spec Spec) *Engine {
 		drop:    root.Fork(0xd409),
 		sense:   root.Fork(0x5e45),
 		stall:   root.Fork(0x57a1),
-		ctr:     trace.NewCounters(),
+		ctr:     metrics.NewCounters(),
 	}
 	for _, v := range spec.Protect {
 		e.protect[v] = true
@@ -133,7 +133,7 @@ func New(spec Spec) *Engine {
 
 // Counters exposes the injected-event counters ("crashes", "restarts",
 // "jam-slots", "deaf-drops", "dropped-recv", "sense-flips", "stalls").
-func (e *Engine) Counters() *trace.Counters { return e.ctr }
+func (e *Engine) Counters() *metrics.Counters { return e.ctr }
 
 // at derives the pure decision stream of one fault class at (node, tick).
 func at(base *rng.Source, v, tick int) *rng.Source {

@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+// The registry sits on the simulator's per-slot path (via resolved handles)
+// and under every grid worker; these pin the cost of its primitives.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench/c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench/h", 1, 2, 4, 8, 16, 32, 64, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 255))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter(string(rune('a'+i)) + "/counter").Add(int64(i))
+	}
+	r.Histogram("bench/h", 1, 2, 4).Observe(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

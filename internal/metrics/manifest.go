@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// CellTiming is the per-cell cost record of one experiment grid cell: which
+// cell (by experiment id, declaration index and grid label), how many
+// attempts it took, and what it cost. WallNs and AllocBytes are timing
+// fields cleared by ZeroTimings; everything else is deterministic.
+// AllocBytes is the process-wide heap allocation delta over the cell, so
+// under concurrent workers it includes other cells' allocations — treat it
+// as a budget indicator, not an exact attribution.
+type CellTiming struct {
+	Experiment string `json:"experiment"`
+	Cell       int    `json:"cell"`
+	Label      string `json:"label,omitempty"`
+	Attempts   int    `json:"attempts"`
+	Failed     bool   `json:"failed,omitempty"`
+	WallNs     int64  `json:"wall_ns"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+// Manifest is the machine-readable record of one CLI run: what was run
+// (tool, version, config, seeds), what it cost (wall clock, per-cell
+// timings) and what it measured (metric snapshot, counters). The JSON
+// encoding is byte-stable modulo the timing fields — struct field order is
+// fixed, map keys marshal sorted, and snapshot sections are sorted — so
+// manifests can be golden-tested and diffed across runs by trajectory
+// tooling (scripts/bench.sh seeds the same format for benchmarks).
+type Manifest struct {
+	Tool    string `json:"tool"`
+	Version string `json:"version"`
+	// Started is the RFC3339 UTC start time; a timing field.
+	Started string `json:"started,omitempty"`
+	// WallNs is the total run duration; a timing field.
+	WallNs int64 `json:"wall_ns"`
+	// Config records the effective flag/option values of the run.
+	Config map[string]string `json:"config,omitempty"`
+	// Metrics is the run's registry snapshot.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+	// Counters holds auxiliary counter sets (fault engine, run report).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Cells lists per-cell timings of grid runs, in (experiment, cell)
+	// order.
+	Cells []CellTiming `json:"cells,omitempty"`
+	// Failures lists the FAILED(...) markers of degraded cells.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamped with the build
+// version and the current UTC time.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Tool:    tool,
+		Version: Version(),
+		Started: time.Now().UTC().Format(time.RFC3339),
+		Config:  make(map[string]string),
+	}
+}
+
+// SetConfig records one effective configuration value.
+func (m *Manifest) SetConfig(key string, value any) {
+	m.Config[key] = fmt.Sprint(value)
+}
+
+// ZeroTimings clears every machine-dependent field in place — start time,
+// wall clocks, allocation figures, and the version stamp (which varies by
+// checkout) — and returns the manifest, leaving only deterministic run
+// content for byte-comparison in tests.
+func (m *Manifest) ZeroTimings() *Manifest {
+	m.Started = ""
+	m.WallNs = 0
+	m.Version = ""
+	if m.Metrics != nil {
+		m.Metrics.ZeroTimings()
+	}
+	for i := range m.Cells {
+		m.Cells[i].WallNs = 0
+		m.Cells[i].AllocBytes = 0
+	}
+	return m
+}
+
+// MarshalIndent renders the manifest as indented JSON with a trailing
+// newline.
+func (m *Manifest) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("metrics: marshal manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the manifest to path as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("metrics: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest parses a manifest back from path.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("metrics: parse manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Version returns a git-describe-style identifier of the running binary,
+// derived from the build info the Go toolchain embeds: the module version
+// when released, else the VCS revision (12 hex digits, "+dirty" when the
+// checkout had local modifications), else "unknown" (tests and bare go run
+// builds carry no VCS stamp).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSnapshot is one counter's state at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's state at snapshot time.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnapshot is one histogram bucket: the count of observations at or
+// below LE (and above the previous bound).
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time. Over counts
+// the observations above the last declared bound (JSON has no +Inf, so the
+// overflow bucket is a separate field).
+type HistogramSnapshot struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	Buckets []BucketSnapshot `json:"buckets"`
+	Over    int64            `json:"over"`
+}
+
+// TimerSnapshot is one timer's state at snapshot time. Count is
+// deterministic; WallNs and AllocBytes are timing fields cleared by
+// ZeroTimings.
+type TimerSnapshot struct {
+	Name       string `json:"name"`
+	Count      int64  `json:"count"`
+	WallNs     int64  `json:"wall_ns"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section sorted
+// by name. Its JSON encoding (fixed struct field order, sorted entries) and
+// its String rendering are byte-stable for a fixed set of recorded events.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Timers     []TimerSnapshot     `json:"timers,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Individual reads are
+// atomic; the snapshot as a whole is not a cross-metric atomic cut, so take
+// it after the instrumented work has quiesced (e.g. after a grid run
+// returns) when byte-stability matters.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	for name, c := range r.ctrs {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Name: name}
+		for i, b := range h.bounds {
+			n := h.counts[i].Load()
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: b, Count: n})
+			hs.Count += n
+		}
+		hs.Over = h.counts[len(h.bounds)].Load()
+		hs.Count += hs.Over
+		s.Histograms = append(s.Histograms, hs)
+	}
+	for name, t := range r.timers {
+		s.Timers = append(s.Timers, TimerSnapshot{
+			Name:       name,
+			Count:      t.count.Load(),
+			WallNs:     t.ns.Load(),
+			AllocBytes: t.bytes.Load(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	return s
+}
+
+// ZeroTimings clears every machine-dependent field in place — timer
+// wall-clock and allocation totals — and returns the snapshot, so tests and
+// cross-worker comparisons see only deterministic quantities.
+func (s *Snapshot) ZeroTimings() *Snapshot {
+	for i := range s.Timers {
+		s.Timers[i].WallNs = 0
+		s.Timers[i].AllocBytes = 0
+	}
+	return s
+}
+
+// String renders the snapshot as sorted text lines, one metric per line.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter %s = %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge %s = %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "histogram %s count=%d [", h.Name, h.Count)
+		for i, bk := range h.Buckets {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "le%g:%d", bk.LE, bk.Count)
+		}
+		fmt.Fprintf(&b, " over:%d]\n", h.Over)
+	}
+	for _, t := range s.Timers {
+		fmt.Fprintf(&b, "timer %s count=%d wall_ns=%d alloc_bytes=%d\n",
+			t.Name, t.Count, t.WallNs, t.AllocBytes)
+	}
+	return b.String()
+}

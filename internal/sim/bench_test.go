@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"udwn/internal/metric"
+	"udwn/internal/metrics"
 	"udwn/internal/model"
 	"udwn/internal/workload"
 )
@@ -29,6 +30,28 @@ func benchSim(b *testing.B, n int, p float64, prims Primitives) *Sim {
 func BenchmarkStepSparse(b *testing.B) {
 	// Equilibrium-like load: ~4 transmitters per slot at n=1024.
 	s := benchSim(b, 1024, 1.0/256, CD|ACK)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkStepUninstrumented is the control for BenchmarkStepInstrumented:
+// the identical workload with Config.Metrics nil. The pair proves the
+// nil-registry hot path costs one branch — the two must be within noise of
+// each other (the instrumented variant additionally pays the probMass sweep
+// and the atomic adds, visible as its delta over this baseline).
+func BenchmarkStepUninstrumented(b *testing.B) {
+	s := benchSim(b, 1024, 1.0/256, CD|ACK)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkStepInstrumented(b *testing.B) {
+	s := benchSim(b, 1024, 1.0/256, CD|ACK)
+	s.met = newStepMetrics(metrics.NewRegistry())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()

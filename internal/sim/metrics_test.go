@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"udwn/internal/metrics"
+)
+
+// TestStepMetrics pins the tick-loop instrumentation to the simulator's own
+// ground-truth accessors: after any run, the registry counters must agree
+// with TotalTransmissions/TotalMassDeliveries, the slot counter with Tick,
+// and the per-slot histogram's total count with the number of slots.
+func TestStepMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := lineConfig()
+	cfg.Metrics = reg
+	s, err := New(cfg, func(id int) Protocol { return fixedProb(0.5) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 200
+	s.Run(ticks)
+
+	snap := reg.Snapshot()
+	get := func(name string) int64 {
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		t.Fatalf("counter %q missing from snapshot:\n%s", name, snap)
+		return 0
+	}
+	if got := get("sim/slots"); got != ticks {
+		t.Fatalf("sim/slots = %d, want %d", got, ticks)
+	}
+	if got := get("sim/tx"); got != s.TotalTransmissions() {
+		t.Fatalf("sim/tx = %d, want %d", got, s.TotalTransmissions())
+	}
+	if got := get("sim/mass_deliveries"); got != s.TotalMassDeliveries() {
+		t.Fatalf("sim/mass_deliveries = %d, want %d", got, s.TotalMassDeliveries())
+	}
+	if get("sim/tx") == 0 || get("sim/decodes") == 0 {
+		t.Fatal("a p=1/2 three-node run must transmit and decode")
+	}
+	// Every acting node reads CD each slot: busy + idle = n*ticks.
+	if busy, idle := get("sim/cd_busy"), get("sim/cd_idle"); busy+idle != int64(s.N()*ticks) {
+		t.Fatalf("cd_busy+cd_idle = %d, want %d", busy+idle, s.N()*ticks)
+	}
+	// Every transmitter observes ACK: hits + misses = transmissions.
+	if acks, miss := get("sim/ack"), get("sim/ack_miss"); acks+miss != s.TotalTransmissions() {
+		t.Fatalf("ack+ack_miss = %d, want %d", acks+miss, s.TotalTransmissions())
+	}
+	var hists = map[string]int64{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h.Count
+	}
+	if hists["sim/tx_per_slot"] != ticks || hists["sim/contention"] != ticks {
+		t.Fatalf("histogram counts = %v, want %d each", hists, ticks)
+	}
+}
+
+// TestStepMetricsNeutral asserts the observability layer is read-only: an
+// instrumented run must produce bit-identical simulation results to an
+// uninstrumented one with the same seeds.
+func TestStepMetricsNeutral(t *testing.T) {
+	run := func(reg *metrics.Registry) (int64, int64, int) {
+		cfg := lineConfig()
+		cfg.Metrics = reg
+		s, err := New(cfg, func(id int) Protocol { return fixedProb(0.3) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(300)
+		return s.TotalTransmissions(), s.TotalMassDeliveries(), s.FirstMassDelivery(1)
+	}
+	tx0, mass0, fm0 := run(nil)
+	tx1, mass1, fm1 := run(metrics.NewRegistry())
+	if tx0 != tx1 || mass0 != mass1 || fm0 != fm1 {
+		t.Fatalf("instrumentation changed the run: (%d,%d,%d) vs (%d,%d,%d)",
+			tx0, mass0, fm0, tx1, mass1, fm1)
+	}
+}
+
+// TestSharedRegistryMerge runs two simulations into one registry and checks
+// the merged counters are the sums — the aggregation mode the experiment
+// grid uses across concurrent cells.
+func TestSharedRegistryMerge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var wantTx int64
+	for seed := uint64(1); seed <= 2; seed++ {
+		cfg := lineConfig()
+		cfg.Seed = seed
+		cfg.Metrics = reg
+		s, err := New(cfg, func(id int) Protocol { return fixedProb(0.4) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(100)
+		wantTx += s.TotalTransmissions()
+	}
+	if got := reg.Counter("sim/tx").Value(); got != wantTx {
+		t.Fatalf("merged sim/tx = %d, want %d", got, wantTx)
+	}
+	if got := reg.Counter("sim/slots").Value(); got != 200 {
+		t.Fatalf("merged sim/slots = %d, want 200", got)
+	}
+}

@@ -140,6 +140,16 @@ type SlotEvent struct {
 	// MassDeliverers lists transmitters whose message reached their whole
 	// alive neighbourhood this slot.
 	MassDeliverers []int `json:"mass,omitempty"`
+	// CDBusy and CDIdle count the carrier-sense outcomes observed by acting
+	// nodes this slot (post fault corruption, i.e. what the protocols saw);
+	// both are zero when the run does not grant the CD primitive.
+	CDBusy int `json:"cd_busy,omitempty"`
+	CDIdle int `json:"cd_idle,omitempty"`
+	// Acks counts transmitters that observed a positive acknowledgement
+	// (Def. ACK or FreeAck, whichever the run grants).
+	Acks int `json:"acks,omitempty"`
+	// NTDs counts listeners that observed a near-transmission this slot.
+	NTDs int `json:"ntds,omitempty"`
 }
 
 // Adversary resolves outcomes the model leaves unspecified. Implementations

@@ -19,6 +19,7 @@ import (
 
 	"udwn/internal/geom"
 	"udwn/internal/metric"
+	"udwn/internal/metrics"
 	"udwn/internal/model"
 	"udwn/internal/pathloss"
 	"udwn/internal/rng"
@@ -89,6 +90,16 @@ type Config struct {
 	// tick loop (crash schedules, jammers, message drops, sensing
 	// corruption; see the Injector interface and internal/faults).
 	Injector Injector
+	// Metrics, when non-nil, receives per-slot instrumentation under the
+	// "sim/" prefix: slot/transmission/decode/mass-delivery counters, the
+	// sensing outcomes protocols observed (CD busy/idle, ACK hit/miss,
+	// NTD), and contention histograms (realised transmitters per slot and
+	// total protocol probability mass). Handles are resolved once at
+	// construction; the uninstrumented hot path pays a nil check per slot
+	// (see BenchmarkStepInstrumented). Registries may be shared across
+	// simulations — every update is a commutative integer operation, so
+	// merged snapshots stay deterministic under concurrent runs.
+	Metrics *metrics.Registry
 }
 
 // Sim is a running simulation. It is not safe for concurrent use.
@@ -112,6 +123,9 @@ type Sim struct {
 	slots  int
 	period []int
 	phase  []int
+
+	// met holds pre-resolved metric handles; nil when uninstrumented.
+	met *stepMetrics
 
 	// invalidOps counts mutator calls (Kill/Revive/Move) that named an
 	// out-of-range node id and were rejected as no-ops.
@@ -251,6 +265,9 @@ func New(cfg Config, factory ProtocolFactory) (*Sim, error) {
 	}
 	if !cfg.Dynamic {
 		s.buildNeighbours()
+	}
+	if cfg.Metrics != nil {
+		s.met = newStepMetrics(cfg.Metrics)
 	}
 	return s, nil
 }

@@ -265,7 +265,13 @@ func (s *Sim) Step() {
 	}
 
 	// Phase 5: observations for acting nodes, passive receipts for others.
+	// Sensing outcomes are tallied (post-corruption, i.e. what the
+	// protocols actually observed) only when a trace observer or a metrics
+	// registry is attached, so the uninstrumented path pays one branch per
+	// observation.
 	prim := s.cfg.Primitives
+	tally := s.met != nil || s.cfg.Observer != nil
+	var cdBusy, cdIdle, acks, ackMiss, ntds int
 	for _, v := range s.actedBuf {
 		if !s.alive[v] {
 			continue // killed mid-tick by nothing today, but stay safe
@@ -301,6 +307,25 @@ func (s *Sim) Step() {
 		if inj != nil {
 			inj.Observation(v, s.tick, &obs)
 		}
+		if tally {
+			if prim.Has(CD) {
+				if obs.Busy {
+					cdBusy++
+				} else {
+					cdIdle++
+				}
+			}
+			if isTx && prim.Has(ACK|FreeAck) {
+				if obs.Acked {
+					acks++
+				} else {
+					ackMiss++
+				}
+			}
+			if obs.NTD {
+				ntds++
+			}
+		}
 		s.protos[v].Observe(&s.nodes[v], slot, &obs)
 	}
 	if s.cfg.Async {
@@ -314,17 +339,42 @@ func (s *Sim) Step() {
 		}
 	}
 
-	if s.cfg.Observer != nil {
-		ev := SlotEvent{Tick: s.tick, Slot: slot, Transmitters: s.txBuf}
+	if tally {
+		decodes, mass := 0, 0
 		for v := 0; v < s.n; v++ {
-			ev.Decodes += len(s.recvBuf[v])
+			decodes += len(s.recvBuf[v])
 		}
 		for _, u := range s.txBuf {
 			if s.massBuf[u] {
-				ev.MassDeliverers = append(ev.MassDeliverers, u)
+				mass++
 			}
 		}
-		s.cfg.Observer(ev)
+		if s.cfg.Observer != nil {
+			ev := SlotEvent{
+				Tick: s.tick, Slot: slot, Transmitters: s.txBuf,
+				Decodes: decodes,
+				CDBusy:  cdBusy, CDIdle: cdIdle, Acks: acks, NTDs: ntds,
+			}
+			for _, u := range s.txBuf {
+				if s.massBuf[u] {
+					ev.MassDeliverers = append(ev.MassDeliverers, u)
+				}
+			}
+			s.cfg.Observer(ev)
+		}
+		if m := s.met; m != nil {
+			m.slots.Inc()
+			m.tx.Add(int64(len(s.txBuf)))
+			m.decodes.Add(int64(decodes))
+			m.mass.Add(int64(mass))
+			m.cdBusy.Add(int64(cdBusy))
+			m.cdIdle.Add(int64(cdIdle))
+			m.ack.Add(int64(acks))
+			m.ackMiss.Add(int64(ackMiss))
+			m.ntd.Add(int64(ntds))
+			m.txPerSlot.Observe(float64(len(s.txBuf)))
+			m.contention.Observe(s.probMass())
+		}
 	}
 
 	s.tick++

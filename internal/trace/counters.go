@@ -1,75 +1,15 @@
 package trace
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-)
+import "udwn/internal/metrics"
 
-// Counters is a set of named event counters, safe for concurrent use. The
-// fault-injection engine (internal/faults) counts injected events with it,
-// the experiment grid counts cell failures and retries, and run reports
-// render it. String and Names order counters alphabetically so rendered
-// counter lines are deterministic regardless of registration (and hence
-// scheduling) order.
-type Counters struct {
-	mu   sync.Mutex
-	vals map[string]int64
-}
+// Counters is the historical name of the named-event counter set now
+// provided by internal/metrics. The fault-injection engine
+// (internal/faults) counts injected events with it, the experiment grid
+// counts cell failures and retries, and run reports render it. It is kept
+// as an alias so existing callers (and trace-format consumers) compile
+// unchanged; new code should use metrics.Counters — or a metrics.Registry
+// — directly.
+type Counters = metrics.Counters
 
 // NewCounters returns an empty counter set.
-func NewCounters() *Counters {
-	return &Counters{vals: make(map[string]int64)}
-}
-
-// Add increments name by delta, registering the counter on first use.
-func (c *Counters) Add(name string, delta int64) {
-	c.mu.Lock()
-	c.vals[name] += delta
-	c.mu.Unlock()
-}
-
-// Get returns the current value of name (0 when never added).
-func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.vals[name]
-}
-
-// Total sums every counter.
-func (c *Counters) Total() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var t int64
-	for _, v := range c.vals {
-		t += v
-	}
-	return t
-}
-
-// Names returns the registered counter names in sorted order.
-func (c *Counters) Names() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	names := make([]string, 0, len(c.vals))
-	for n := range c.vals {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// String renders "name=value" pairs in sorted name order, space separated;
-// an empty counter set renders "".
-func (c *Counters) String() string {
-	names := c.Names()
-	var b strings.Builder
-	for i, n := range names {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%s=%d", n, c.Get(n))
-	}
-	return b.String()
-}
+func NewCounters() *Counters { return metrics.NewCounters() }

@@ -68,3 +68,85 @@ func TestPlotEmpty(t *testing.T) {
 		t.Fatalf("empty plot output: %q", out)
 	}
 }
+
+// TestPlotMismatchedXGrids pins the documented behaviour when series do not
+// share an x grid: the rendered rows follow the FIRST series' x samples,
+// and every other series contributes its step-wise YAt value at those
+// points — the last sample at or before x, 0 before its first sample.
+func TestPlotMismatchedXGrids(t *testing.T) {
+	p := NewPlot("mismatch", "x")
+	a := p.NewSeries("a")
+	b := p.NewSeries("b")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	a.Add(3, 30)
+	b.Add(1.5, 100) // off-grid: invisible at x=1, holds from x=2 on
+	b.Add(10, 999)  // beyond the first series' grid: never rendered
+	out := p.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 data rows
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	data := lines[3:]
+	wantRows := []struct {
+		x, a, b string
+	}{
+		{"1", "10", "0"},   // before b's first sample: YAt = 0
+		{"2", "20", "100"}, // b's 1.5-sample holds step-wise
+		{"3", "30", "100"}, // b's 10-sample is still ahead
+	}
+	for i, w := range wantRows {
+		fields := strings.Fields(data[i])
+		if len(fields) != 3 || fields[0] != w.x || fields[1] != w.a || fields[2] != w.b {
+			t.Fatalf("row %d = %q, want x=%s a=%s b=%s", i, data[i], w.x, w.a, w.b)
+		}
+	}
+	if strings.Contains(out, "999") {
+		t.Fatalf("sample beyond the first series' grid leaked into output:\n%s", out)
+	}
+}
+
+// TestPlotEmptyFirstSeries: the x grid comes from the first series, so an
+// empty first series renders headers only — later series' samples are
+// unreachable. This is the sharp edge the String contract documents.
+func TestPlotEmptyFirstSeries(t *testing.T) {
+	p := NewPlot("empty-first", "x")
+	p.NewSeries("a") // no samples
+	b := p.NewSeries("b")
+	b.Add(1, 42)
+	out := p.String()
+	if strings.Contains(out, "42") {
+		t.Fatalf("data rendered despite empty first series:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // title, header, separator — no data rows
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"empty-first", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPlotEmptySecondSeries: a later empty series still gets a column, all
+// zeros, without disturbing the first series' rows.
+func TestPlotEmptySecondSeries(t *testing.T) {
+	p := NewPlot("", "x")
+	a := p.NewSeries("a")
+	p.NewSeries("b") // no samples
+	a.Add(1, 10)
+	a.Add(2, 20)
+	out := p.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 data rows (no title)
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	for i, want := range [][]string{{"1", "10", "0"}, {"2", "20", "0"}} {
+		fields := strings.Fields(lines[2+i])
+		if len(fields) != 3 || fields[0] != want[0] || fields[1] != want[1] || fields[2] != want[2] {
+			t.Fatalf("row %d = %q, want %v", i, lines[2+i], want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: runs `go test -bench . -benchmem` over the given
+# packages (default: the simulator hot path and the grid engine's micro
+# benches in internal/metrics) and renders the results as
+# BENCH_<YYYY-MM-DD>.json in the run-manifest shape of internal/metrics —
+# tool/version/started plus one record per benchmark — so benchmark history
+# can be diffed and machine-read like `-manifest` output.
+#
+# Usage: scripts/bench.sh [out.json] [-- <go test packages...>]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date -u +%F).json"
+if [[ $# -gt 0 && $1 != -- ]]; then
+  out=$1
+  shift
+fi
+if [[ $# -gt 0 && $1 == -- ]]; then
+  shift
+fi
+pkgs=("$@")
+if [[ ${#pkgs[@]} -eq 0 ]]; then
+  pkgs=(./internal/sim ./internal/metrics)
+fi
+
+version=$(git describe --always --dirty 2>/dev/null || echo unknown)
+started=$(date -u +%FT%TZ)
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -timeout 30m "${pkgs[@]}" | tee "$raw"
+
+awk -v version="$version" -v started="$started" -v pkgs="${pkgs[*]}" '
+BEGIN {
+  printf "{\n  \"tool\": \"bench\",\n  \"version\": \"%s\",\n  \"started\": \"%s\",\n", version, started
+  printf "  \"config\": {\n    \"packages\": \"%s\"\n  },\n  \"benchmarks\": [", pkgs
+  n = 0
+}
+/^Benchmark/ && /ns\/op/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; ns = $3
+  bop = "0"; aop = "0"
+  for (i = 4; i <= NF; i++) {
+    if ($i == "B/op") bop = $(i - 1)
+    if ($i == "allocs/op") aop = $(i - 1)
+  }
+  if (n++) printf ","
+  printf "\n    {\n      \"name\": \"%s\",\n      \"iters\": %s,\n      \"ns_per_op\": %s,\n      \"b_per_op\": %s,\n      \"allocs_per_op\": %s\n    }", name, iters, ns, bop, aop
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -13,8 +13,15 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go vet ./internal/metrics
 go test -timeout 10m ./...
 go test -race -timeout 15m ./...
 # The fault engine feeds the sim tick loop from grid workers; exercise that
 # seam under the race detector explicitly even when the suites above shard.
 go test -race -timeout 5m ./internal/faults
+# The metrics registry is written concurrently by every grid worker and its
+# snapshot determinism contract is load-bearing for manifests; race it.
+go test -race -timeout 5m ./internal/metrics
+# Fast determinism smoke of the observability seams (progress stream,
+# manifest rendering, cross-worker metric merges) even in short mode.
+go test -short -timeout 5m -run 'Progress|Manifest|Metrics' ./internal/experiment ./internal/metrics

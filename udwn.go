@@ -27,6 +27,7 @@ import (
 
 	"udwn/internal/geom"
 	"udwn/internal/metric"
+	"udwn/internal/metrics"
 	"udwn/internal/model"
 	"udwn/internal/sensing"
 	"udwn/internal/sim"
@@ -199,6 +200,10 @@ type SimOptions struct {
 	// Injector hooks deterministic fault injection into the tick loop
 	// (crash schedules, jammers, sensing corruption; see internal/faults).
 	Injector sim.Injector
+	// Metrics, when non-nil, receives per-slot simulator instrumentation
+	// under the "sim/" name prefix. One registry may be shared across runs;
+	// its commutative counters merge deterministically.
+	Metrics *metrics.Registry
 }
 
 // NewSim constructs a simulator over the network.
@@ -222,6 +227,7 @@ func (nw *Network) NewSim(factory sim.ProtocolFactory, o SimOptions) (*sim.Sim, 
 		Channels:      o.Channels,
 		TrackCoverage: o.TrackCoverage,
 		Injector:      o.Injector,
+		Metrics:       o.Metrics,
 	}
 	s, err := sim.New(cfg, factory)
 	if err != nil {
