@@ -56,9 +56,10 @@ type flags struct {
 	svg      string
 
 	// Observability outputs (internal/metrics).
-	manifest   string
-	cpuprofile string
-	memprofile string
+	manifest     string
+	cpuprofile   string
+	memprofile   string
+	indexMetrics bool
 
 	// Fault injection (internal/faults); any non-zero rate arms the engine.
 	faultCrash float64
@@ -102,6 +103,7 @@ func parseFlags() flags {
 	flag.StringVar(&f.trace, "trace", "", "write a JSONL slot trace to this file")
 	flag.StringVar(&f.svg, "svg", "", "render the outcome (completion-time heatmap) to this SVG file")
 	flag.StringVar(&f.manifest, "manifest", "", "write a JSON run manifest (config, metrics, counters) to this file")
+	flag.BoolVar(&f.indexMetrics, "index-metrics", false, "register the sim/index/* spatial-index work counters in the metric snapshot")
 	flag.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU pprof profile to this file")
 	flag.StringVar(&f.memprofile, "memprofile", "", "write a heap pprof profile to this file")
 	flag.Float64Var(&f.faultCrash, "fault-crash", 0, "per-tick crash probability (nodes restart after -fault-down ticks)")
@@ -138,11 +140,12 @@ func run() error {
 
 	reg := metrics.NewRegistry()
 	opts := udwn.SimOptions{
-		Seed:       f.seed,
-		Async:      f.async,
-		Primitives: sim.CD | sim.ACK,
-		Dynamic:    f.walk > 0,
-		Metrics:    reg,
+		Seed:         f.seed,
+		Async:        f.async,
+		Primitives:   sim.CD | sim.ACK,
+		Dynamic:      f.walk > 0,
+		Metrics:      reg,
+		IndexMetrics: f.indexMetrics,
 	}
 	var eng *faults.Engine
 	if spec := f.faultSpec(); spec.Enabled() {
@@ -314,6 +317,7 @@ func writeManifest(f flags, reg *metrics.Registry, eng *faults.Engine,
 	m.SetConfig("done", done)
 	m.SetConfig("ticks", ticks)
 	m.SetConfig("invalid-ops", s.InvalidOps())
+	m.SetConfig("slot-index", s.IndexMode())
 	m.WallNs = int64(wall)
 	m.Metrics = reg.Snapshot()
 	if eng != nil {
@@ -329,24 +333,25 @@ func buildSim(nw *udwn.Network, factory sim.ProtocolFactory, o udwn.SimOptions, 
 		return nw.NewSim(factory, o)
 	}
 	cfg := sim.Config{
-		Space:      nw.Space,
-		Model:      nw.Model,
-		P:          nw.PHY.Power(),
-		Zeta:       nw.PHY.Alpha,
-		Noise:      nw.PHY.Noise,
-		Eps:        nw.PHY.Eps,
-		SenseEps:   o.SenseEps,
-		Slots:      o.Slots,
-		Async:      o.Async,
-		Seed:       o.Seed,
-		Primitives: o.Primitives,
-		Adversary:  o.Adversary,
-		Dynamic:    o.Dynamic,
-		BusyScale:  nw.PHY.BusyScale,
-		AckScale:   nw.PHY.AckScale,
-		Observer:   rec.Record,
-		Injector:   o.Injector,
-		Metrics:    o.Metrics,
+		Space:        nw.Space,
+		Model:        nw.Model,
+		P:            nw.PHY.Power(),
+		Zeta:         nw.PHY.Alpha,
+		Noise:        nw.PHY.Noise,
+		Eps:          nw.PHY.Eps,
+		SenseEps:     o.SenseEps,
+		Slots:        o.Slots,
+		Async:        o.Async,
+		Seed:         o.Seed,
+		Primitives:   o.Primitives,
+		Adversary:    o.Adversary,
+		Dynamic:      o.Dynamic,
+		BusyScale:    nw.PHY.BusyScale,
+		AckScale:     nw.PHY.AckScale,
+		Observer:     rec.Record,
+		Injector:     o.Injector,
+		Metrics:      o.Metrics,
+		IndexMetrics: o.IndexMetrics,
 	}
 	return sim.New(cfg, factory)
 }

@@ -33,6 +33,7 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell deadline; overrunning cells are marked FAILED (0 = none)")
 	retries := flag.Int("retries", 0, "retry budget for panicking or overrunning cells")
 	progress := flag.Bool("progress", false, "render live done/total cells and ETA on stderr")
+	indexMetrics := flag.Bool("index-metrics", false, "register the sim/index/* spatial-index work counters in the metric snapshot")
 	manifest := flag.String("manifest", "", "write a JSON run manifest (config, metrics, per-cell timings) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
@@ -65,6 +66,7 @@ func main() {
 	opts.Workers = *workers
 	opts.CellTimeout = *cellTimeout
 	opts.Retries = *retries
+	opts.IndexMetrics = *indexMetrics
 	// One shared report: each experiment renders its own FAILED lines and
 	// the suite summarises degraded cells at the end instead of aborting.
 	report := experiment.NewRunReport()
@@ -135,6 +137,7 @@ func writeManifest(path string, selected []experiment.Experiment,
 	m.SetConfig("workers", opts.Workers)
 	m.SetConfig("retries", opts.Retries)
 	m.SetConfig("cell-timeout", opts.CellTimeout)
+	m.SetConfig("index-metrics", opts.IndexMetrics)
 	m.WallNs = int64(wall)
 	m.Metrics = reg.Snapshot()
 	m.Counters = report.Counters().Map()

@@ -49,6 +49,11 @@ type Options struct {
 	// byte-identical across Workers counts — pinned by
 	// TestMetricsWorkersDeterminism.
 	Metrics *metrics.Registry
+	// IndexMetrics opts the simulator's "sim/index/*" spatial-index work
+	// counters into Metrics. Off by default: the counters are absent from
+	// the pinned snapshot goldens, and registering them only on request
+	// keeps those goldens stable.
+	IndexMetrics bool
 	// Progress, when non-nil, is invoked after every completed or failed
 	// grid cell with the grid's live done/total state. Callbacks are
 	// serialised by the grid, so implementations need no locking; they run
@@ -70,6 +75,7 @@ type Progress struct {
 // construct reports into the shared registry.
 func (o Options) sim(so udwn.SimOptions) udwn.SimOptions {
 	so.Metrics = o.Metrics
+	so.IndexMetrics = o.IndexMetrics
 	return so
 }
 

@@ -106,6 +106,7 @@ func coverageSim(nw *udwn.Network, n int, seed uint64, tick *udwn.TickSource, o 
 		AckScale:      nw.PHY.AckScale,
 		TrackCoverage: true,
 		Metrics:       o.Metrics,
+		IndexMetrics:  o.IndexMetrics,
 	}
 	s, err := sim.New(cfg, func(id int) sim.Protocol {
 		return core.NewLocalBcast(n, int64(id))

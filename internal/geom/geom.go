@@ -168,49 +168,84 @@ func deleteVal(s []int32, v int32) []int32 {
 	return s
 }
 
+// Iter streams the present points within distance r of a query point, in the
+// same cell-row-major order Within reports them. It is a plain value — no
+// heap allocation per query — which is what lets the simulator's slot loop
+// run grid queries allocation-free. An Iter must not outlive mutations of
+// its Grid. The zero value is not usable; obtain one from IterWithin.
+type Iter struct {
+	g        *Grid
+	q        Point
+	r2       float64
+	cx0, cx1 int
+	cy1      int
+	cx, cy   int
+	cell     []int32
+	pos      int
+}
+
+// IterWithin returns an iterator over the present points within distance r
+// of q, inclusive of points exactly at distance r. The point at q itself is
+// included if indexed; callers filter self. Within and CountWithin are thin
+// wrappers over the same iterator, so all three agree on membership.
+func (g *Grid) IterWithin(q Point, r float64) Iter {
+	cx0 := clamp(int((q.X-r-g.minX)/g.cell), 0, g.cols-1)
+	cy0 := clamp(int((q.Y-r-g.minY)/g.cell), 0, g.rows-1)
+	cx1 := clamp(int((q.X+r-g.minX)/g.cell), 0, g.cols-1)
+	cy1 := clamp(int((q.Y+r-g.minY)/g.cell), 0, g.rows-1)
+	return Iter{
+		g: g, q: q, r2: r * r,
+		cx0: cx0, cx1: cx1, cy1: cy1,
+		cx: cx0, cy: cy0,
+		cell: g.cells[cy0*g.cols+cx0],
+	}
+}
+
+// Next returns the next in-range point id, or ok = false when exhausted.
+func (it *Iter) Next() (id int, ok bool) {
+	for {
+		for it.pos < len(it.cell) {
+			cand := it.cell[it.pos]
+			it.pos++
+			if it.g.points[cand].Dist2(it.q) <= it.r2 {
+				return int(cand), true
+			}
+		}
+		it.cx++
+		if it.cx > it.cx1 {
+			it.cx = it.cx0
+			it.cy++
+			if it.cy > it.cy1 {
+				return 0, false
+			}
+		}
+		it.cell = it.g.cells[it.cy*it.g.cols+it.cx]
+		it.pos = 0
+	}
+}
+
 // Within appends to dst the indices of all present points within distance r
 // of q (inclusive of points exactly at distance r) and returns the extended
 // slice. The point at q itself is included if indexed; callers filter self.
 func (g *Grid) Within(q Point, r float64, dst []int) []int {
-	r2 := r * r
-	cx0 := int((q.X - r - g.minX) / g.cell)
-	cy0 := int((q.Y - r - g.minY) / g.cell)
-	cx1 := int((q.X + r - g.minX) / g.cell)
-	cy1 := int((q.Y + r - g.minY) / g.cell)
-	cx0, cy0 = clamp(cx0, 0, g.cols-1), clamp(cy0, 0, g.rows-1)
-	cx1, cy1 = clamp(cx1, 0, g.cols-1), clamp(cy1, 0, g.rows-1)
-	for cy := cy0; cy <= cy1; cy++ {
-		base := cy * g.cols
-		for cx := cx0; cx <= cx1; cx++ {
-			for _, id := range g.cells[base+cx] {
-				if g.points[id].Dist2(q) <= r2 {
-					dst = append(dst, int(id))
-				}
-			}
+	it := g.IterWithin(q, r)
+	for {
+		id, ok := it.Next()
+		if !ok {
+			return dst
 		}
+		dst = append(dst, id)
 	}
-	return dst
 }
 
 // CountWithin returns the number of present points within distance r of q.
 func (g *Grid) CountWithin(q Point, r float64) int {
-	r2 := r * r
-	cx0 := int((q.X - r - g.minX) / g.cell)
-	cy0 := int((q.Y - r - g.minY) / g.cell)
-	cx1 := int((q.X + r - g.minX) / g.cell)
-	cy1 := int((q.Y + r - g.minY) / g.cell)
-	cx0, cy0 = clamp(cx0, 0, g.cols-1), clamp(cy0, 0, g.rows-1)
-	cx1, cy1 = clamp(cx1, 0, g.cols-1), clamp(cy1, 0, g.rows-1)
 	n := 0
-	for cy := cy0; cy <= cy1; cy++ {
-		base := cy * g.cols
-		for cx := cx0; cx <= cx1; cx++ {
-			for _, id := range g.cells[base+cx] {
-				if g.points[id].Dist2(q) <= r2 {
-					n++
-				}
-			}
+	it := g.IterWithin(q, r)
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
 		}
+		n++
 	}
-	return n
 }

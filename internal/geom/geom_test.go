@@ -228,6 +228,103 @@ func TestGridProperty(t *testing.T) {
 	}
 }
 
+func TestGridIterWithinMatchesWithin(t *testing.T) {
+	// Iter is the single source of truth Within and CountWithin wrap; pin
+	// that all three agree, including enumeration order.
+	ps := randomPoints(400, 60, 11)
+	g := NewGrid(ps, 4)
+	r := rng.New(12)
+	for trial := 0; trial < 40; trial++ {
+		q := Point{r.Range(-5, 65), r.Range(-5, 65)}
+		radius := r.Range(0, 12)
+		want := g.Within(q, radius, nil)
+		var got []int
+		it := g.IterWithin(q, radius)
+		for {
+			id, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, id)
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: iterator order/content mismatch: got %v want %v", trial, got, want)
+		}
+		if n := g.CountWithin(q, radius); n != len(want) {
+			t.Fatalf("trial %d: CountWithin = %d, want %d", trial, n, len(want))
+		}
+	}
+}
+
+func TestGridExactBoundaryInclusive(t *testing.T) {
+	// Points exactly at distance r are inside: 3-4-5 triangles have exact
+	// float distances, so any off-by-one-ulp comparison would show here.
+	ps := []Point{{0, 0}, {3, 4}, {-3, 4}, {5, 0}, {0, -5}, {3.0000001, 4}}
+	g := NewGrid(ps, 2)
+	got := sorted(g.Within(Point{0, 0}, 5, nil))
+	want := []int{0, 1, 2, 3, 4} // index 5 is just outside
+	if !equalInts(got, want) {
+		t.Fatalf("exact-radius query = %v, want %v", got, want)
+	}
+	if n := g.CountWithin(Point{0, 0}, 5); n != 5 {
+		t.Fatalf("CountWithin = %d, want 5", n)
+	}
+}
+
+func TestGridNegativeQueryCoordinates(t *testing.T) {
+	// A query rectangle extending far below the bounding box yields negative
+	// pre-clamp cell coordinates; truncation-vs-floor artifacts must not
+	// drop border cells. Points themselves sit at negative coordinates too.
+	ps := []Point{{-10, -10}, {-9.5, -10}, {0, 0}, {4, 4}}
+	g := NewGrid(ps, 3)
+	got := sorted(g.Within(Point{-40, -40}, 43, nil))
+	if !equalInts(got, []int{0, 1}) {
+		t.Fatalf("negative-coordinate query = %v, want [0 1]", got)
+	}
+	if n := g.CountWithin(Point{-40, -40}, 43); n != 2 {
+		t.Fatalf("CountWithin = %d, want 2", n)
+	}
+	// Exactly at the corner distance, inclusively.
+	if got := sorted(g.Within(Point{-40, -40}, math.Hypot(30, 30), nil)); !equalInts(got, []int{0}) {
+		t.Fatalf("corner-distance query = %v, want [0]", got)
+	}
+}
+
+func TestGridMoveOutsideBoundingBox(t *testing.T) {
+	// Points Moved outside the construction-time bounding box land in
+	// clamped border cells; queries clamp the same way, so they must still
+	// be found — both near their new location and not at the old one.
+	ps := randomPoints(50, 10, 13)
+	g := NewGrid(ps, 1)
+	far := []Point{{100, 100}, {-50, 5}, {5, -70}, {200, -200}}
+	for i, p := range far {
+		ps[i] = p
+		g.Move(i, p)
+	}
+	for i, p := range far {
+		got := sorted(g.Within(p, 0.5, nil))
+		want := sorted(bruteWithin(ps, nil, p, 0.5))
+		if !equalInts(got, want) {
+			t.Fatalf("moved point %d: Within(%v) = %v, want %v", i, p, got, want)
+		}
+	}
+	// A sweep over the whole (old and new) area still matches brute force.
+	got := sorted(g.Within(Point{5, 5}, 400, nil))
+	want := sorted(bruteWithin(ps, nil, Point{5, 5}, 400))
+	if !equalInts(got, want) {
+		t.Fatal("global query misses relocated points")
+	}
+	// Remove/Insert of an out-of-box point must keep the index consistent.
+	g.Remove(0)
+	if got := g.Within(far[0], 0.5, nil); len(got) != 0 {
+		t.Fatalf("removed out-of-box point still found: %v", got)
+	}
+	g.Insert(0, far[0])
+	if got := g.Within(far[0], 0.5, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("re-inserted out-of-box point not found: %v", got)
+	}
+}
+
 func BenchmarkGridWithin(b *testing.B) {
 	ps := randomPoints(4096, 100, 1)
 	g := NewGrid(ps, 5)

@@ -43,6 +43,30 @@ type SuccClear struct {
 	Ic float64
 }
 
+// RangeLimiter is an optional Model extension declaring a hard geometric
+// cutoff on decoding: Decodes(view, u, v) is guaranteed false whenever
+// d(u, v) > MaxDecodeRange(), for any transmitter set and any interference,
+// at the model's nominal (unit) power scale. The simulator uses it to drive
+// reception transmitter-outward from a spatial index — each transmitter only
+// visits listeners inside the cutoff — so the bound must be exact, not
+// approximate: for graph-style models it is the defining connectivity radius,
+// and for SINR-style models it is the distance at which the bare signal drops
+// to the decode threshold over noise alone (beyond it the ratio test cannot
+// succeed even with zero interference). Power-scaled transmissions extend the
+// cutoff by scale^{1/ζ}, which the simulator applies on top.
+type RangeLimiter interface {
+	MaxDecodeRange() float64
+}
+
+// FieldOblivious is an optional Model extension declaring that Decodes never
+// consults View.TotalPower — the slot's aggregated interference field — only
+// per-pair powers and distances. When such a model runs without any
+// power-sensing primitive (CD, ACK), the simulator skips building the O(n·tx)
+// interference field entirely.
+type FieldOblivious interface {
+	FieldOblivious() bool
+}
+
 // Model is a concrete communication model plugged into the simulator.
 type Model interface {
 	// Name identifies the model in reports.
@@ -117,6 +141,10 @@ func (s *SINR) Neighbor(dist float64) bool { return dist <= s.r }
 // CommRadius returns (1−eps)·R.
 func (s *SINR) CommRadius(eps float64) float64 { return (1 - eps) * s.r }
 
+// MaxDecodeRange returns R: at d > R the bare signal P/d^ζ is already below
+// β·N, so the SINR inequality fails even with zero interference.
+func (s *SINR) MaxDecodeRange() float64 { return s.r }
+
 // Decodes applies the SINR inequality with cumulative interference.
 func (s *SINR) Decodes(view View, u, v int) bool {
 	sig := view.Power(u, v)
@@ -172,6 +200,13 @@ func (m *UDG) Neighbor(dist float64) bool { return dist <= m.commR }
 // CommRadius returns R: graph neighbourhoods are exact.
 func (m *UDG) CommRadius(float64) float64 { return m.commR }
 
+// MaxDecodeRange returns the communication radius: Decodes rejects any pair
+// beyond it outright.
+func (m *UDG) MaxDecodeRange() float64 { return m.commR }
+
+// FieldOblivious reports true: the collision rule never reads TotalPower.
+func (m *UDG) FieldOblivious() bool { return true }
+
 // Decodes applies the collision rule.
 func (m *UDG) Decodes(view View, u, v int) bool {
 	if view.Dist(u, v) > m.commR {
@@ -223,6 +258,19 @@ func (m *QUDG) Neighbor(dist float64) bool { return dist <= m.innerR }
 // CommRadius returns the inner radius: guaranteed edges are exact.
 func (m *QUDG) CommRadius(float64) float64 { return m.innerR }
 
+// MaxDecodeRange returns the largest distance at which an edge can exist:
+// outerR when a grey-zone rule may connect pairs beyond the inner radius,
+// innerR under the pessimistic (no grey edges) adversary.
+func (m *QUDG) MaxDecodeRange() float64 {
+	if m.greyEdge != nil {
+		return m.outerR
+	}
+	return m.innerR
+}
+
+// FieldOblivious reports true: the collision rule never reads TotalPower.
+func (m *QUDG) FieldOblivious() bool { return true }
+
 // Decodes applies the collision rule over the (possibly grey) edge set,
 // with interference out to outerR.
 func (m *QUDG) Decodes(view View, u, v int) bool {
@@ -270,6 +318,13 @@ func (m *Protocol) Neighbor(dist float64) bool { return dist <= m.commR }
 // CommRadius returns R: graph neighbourhoods are exact.
 func (m *Protocol) CommRadius(float64) float64 { return m.commR }
 
+// MaxDecodeRange returns the communication radius: Decodes rejects any pair
+// beyond it outright.
+func (m *Protocol) MaxDecodeRange() float64 { return m.commR }
+
+// FieldOblivious reports true: the protocol rule never reads TotalPower.
+func (m *Protocol) FieldOblivious() bool { return true }
+
 // Decodes applies the protocol-model rule.
 func (m *Protocol) Decodes(view View, u, v int) bool {
 	if view.Dist(u, v) > m.commR {
@@ -313,6 +368,12 @@ func (m *BIG) Neighbor(dist float64) bool { return dist <= 1 }
 
 // CommRadius returns 1: adjacency is exact.
 func (m *BIG) CommRadius(float64) float64 { return 1 }
+
+// MaxDecodeRange returns 1: communication is along graph edges only.
+func (m *BIG) MaxDecodeRange() float64 { return 1 }
+
+// FieldOblivious reports true: the radio rule never reads TotalPower.
+func (m *BIG) FieldOblivious() bool { return true }
 
 // Decodes applies the radio rule with k-hop interference.
 func (m *BIG) Decodes(view View, u, v int) bool {

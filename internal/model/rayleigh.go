@@ -23,9 +23,15 @@ type RayleighSINR struct {
 	base *SINR
 	seed uint64
 	tick func() int
+	zeta float64
 }
 
 var _ Model = (*RayleighSINR)(nil)
+
+// fadeClamp is the upper clamp on the uniform draw behind the exponential
+// fading coefficient; it bounds the coefficient at -log(1-fadeClamp), which
+// in turn bounds the maximum decode distance (see MaxDecodeRange).
+const fadeClamp = 0.999999
 
 // NewRayleighSINR wraps the SINR parameters with Rayleigh fading. tick must
 // report the simulator's current tick so coefficients redraw every slot; it
@@ -34,7 +40,7 @@ func NewRayleighSINR(p, beta, noise, zeta, eps float64, seed uint64, tick func()
 	if tick == nil {
 		panic("model: RayleighSINR needs a tick source")
 	}
-	return &RayleighSINR{base: NewSINR(p, beta, noise, zeta, eps), seed: seed, tick: tick}
+	return &RayleighSINR{base: NewSINR(p, beta, noise, zeta, eps), seed: seed, tick: tick, zeta: zeta}
 }
 
 // Name returns "rayleigh".
@@ -52,14 +58,27 @@ func (m *RayleighSINR) Neighbor(dist float64) bool { return m.base.Neighbor(dist
 // CommRadius returns the mean-field (1−eps)·R.
 func (m *RayleighSINR) CommRadius(eps float64) float64 { return m.base.CommRadius(eps) }
 
+// MaxDecodeRange returns the largest distance any faded transmission can be
+// decoded from: the fading coefficient is clamped at -log(1-fadeClamp), so
+// beyond maxFade^{1/ζ}·R even a maximally lucky draw leaves the signal below
+// β·N and the ratio test cannot succeed.
+func (m *RayleighSINR) MaxDecodeRange() float64 {
+	maxFade := -math.Log(1 - fadeClamp)
+	return m.base.R() * math.Pow(maxFade, 1/m.zeta)
+}
+
+// FieldOblivious reports true: Decodes accumulates its own faded
+// interference from per-pair powers and never reads View.TotalPower.
+func (m *RayleighSINR) FieldOblivious() bool { return true }
+
 // fade returns the exponential fading coefficient for (tick, w, v),
 // deterministic per run for replayability.
 func (m *RayleighSINR) fade(tick, w, v int) float64 {
 	r := rng.New(m.seed ^ uint64(tick)<<40 ^ uint64(w)<<20 ^ uint64(v))
 	// Exponential with unit mean; clamp away from 0 to avoid -Inf logs.
 	u := r.Float64()
-	if u > 0.999999 {
-		u = 0.999999
+	if u > fadeClamp {
+		u = fadeClamp
 	}
 	return -math.Log(1 - u)
 }

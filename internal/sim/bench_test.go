@@ -51,7 +51,7 @@ func BenchmarkStepUninstrumented(b *testing.B) {
 
 func BenchmarkStepInstrumented(b *testing.B) {
 	s := benchSim(b, 1024, 1.0/256, CD|ACK)
-	s.met = newStepMetrics(metrics.NewRegistry())
+	s.met = newStepMetrics(metrics.NewRegistry(), false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
@@ -87,6 +87,46 @@ func BenchmarkStepUDG(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// sparseSim4096 builds the large sparse-topology workload behind the
+// indexed-vs-brute BenchmarkStep pair: 4096 nodes at mean degree 16, a
+// field-oblivious UDG model, and no sensing primitives, so the indexed run
+// exercises the transmitter-outward reception path with Phase 2 skipped.
+func sparseSim4096(b *testing.B) *Sim {
+	b.Helper()
+	pts := workload.UniformDisc(4096, workload.SideForDegree(4096, 16, 10), 1)
+	s, err := New(Config{
+		Space: metric.NewEuclidean(pts),
+		Model: model.NewUDG(10),
+		P:     1500, Zeta: 3, Noise: 1, Eps: 0.1,
+		Seed: 1,
+	}, func(int) Protocol { return fixedProb(1.0 / 64) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkStepSparse4096Indexed(b *testing.B) {
+	s := sparseSim4096(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkStepSparse4096Brute disables the spatial index on the identical
+// workload, forcing the listener-oriented O(n·|tx|) reception scan and the
+// O(|tx|·n) count vectors — the pre-index slot loop. The ratio of this pair
+// is the index speedup on sparse topologies.
+func BenchmarkStepSparse4096Brute(b *testing.B) {
+	s := sparseSim4096(b)
+	s.grid = nil
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()

@@ -9,10 +9,19 @@ import "udwn/internal/metrics"
 // run registry) the get-or-create lookups return the shared instruments and
 // the commutative updates merge deterministically.
 type stepMetrics struct {
-	slots, tx, decodes, mass         *metrics.Counter
+	slots, tx, decodes, mass          *metrics.Counter
 	cdBusy, cdIdle, ack, ackMiss, ntd *metrics.Counter
-	txPerSlot                        *metrics.Histogram
-	contention                       *metrics.Histogram
+	txPerSlot                         *metrics.Histogram
+	contention                        *metrics.Histogram
+
+	// reg backs lazy registration of instruments that must stay absent from
+	// snapshots until an event actually occurs (see noteRadiusFallback).
+	reg *metrics.Registry
+	// radiusFallback counts slot-view radius-cache misses; nil until the
+	// first miss registers it.
+	radiusFallback *metrics.Counter
+	// Spatial-index work counters; nil unless Config.IndexMetrics opted in.
+	idxTx, idxCand, idxCount, idxNbr *metrics.Counter
 }
 
 // Contention histogram bucket bounds. Declaration-fixed (see the metrics
@@ -25,8 +34,8 @@ var (
 	contentionBounds = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
 )
 
-func newStepMetrics(r *metrics.Registry) *stepMetrics {
-	return &stepMetrics{
+func newStepMetrics(r *metrics.Registry, indexMetrics bool) *stepMetrics {
+	m := &stepMetrics{
 		slots:      r.Counter("sim/slots"),
 		tx:         r.Counter("sim/tx"),
 		decodes:    r.Counter("sim/decodes"),
@@ -38,7 +47,30 @@ func newStepMetrics(r *metrics.Registry) *stepMetrics {
 		ntd:        r.Counter("sim/ntd"),
 		txPerSlot:  r.Histogram("sim/tx_per_slot", txPerSlotBounds...),
 		contention: r.Histogram("sim/contention", contentionBounds...),
+		reg:        r,
 	}
+	if indexMetrics {
+		m.idxTx = r.Counter("sim/index/tx_queries")
+		m.idxCand = r.Counter("sim/index/candidates")
+		m.idxCount = r.Counter("sim/index/count_queries")
+		m.idxNbr = r.Counter("sim/index/neighbor_queries")
+	}
+	return m
+}
+
+// flushIndexStats exports the spatial-index counter deltas accumulated since
+// the last flush; no-op unless Config.IndexMetrics registered the handles.
+func (s *Sim) flushIndexStats() {
+	m := s.met
+	if m == nil || m.idxTx == nil {
+		return
+	}
+	cur, prev := s.idx, s.idxFlushed
+	m.idxTx.Add(cur.TxQueries - prev.TxQueries)
+	m.idxCand.Add(cur.Candidates - prev.Candidates)
+	m.idxCount.Add(cur.CountQueries - prev.CountQueries)
+	m.idxNbr.Add(cur.NeighborQueries - prev.NeighborQueries)
+	s.idxFlushed = cur
 }
 
 // probMass sums the current transmission probabilities of alive protocols

@@ -16,6 +16,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 
 	"udwn/internal/geom"
 	"udwn/internal/metric"
@@ -90,6 +92,12 @@ type Config struct {
 	// tick loop (crash schedules, jammers, message drops, sensing
 	// corruption; see the Injector interface and internal/faults).
 	Injector Injector
+	// IndexMetrics additionally registers the "sim/index/*" spatial-index
+	// work counters (transmitter queries, candidate enumerations, count and
+	// neighbour queries) with Metrics. Off by default so existing registry
+	// snapshots keep their instrument set; the same numbers are always
+	// available programmatically via (*Sim).IndexStats.
+	IndexMetrics bool
 	// Metrics, when non-nil, receives per-slot instrumentation under the
 	// "sim/" prefix: slot/transmission/decode/mass-delivery counters, the
 	// sensing outcomes protocols observed (CD busy/idle, ACK hit/miss,
@@ -127,6 +135,31 @@ type Sim struct {
 	// met holds pre-resolved metric handles; nil when uninstrumented.
 	met *stepMetrics
 
+	// grid is the spatial index over the positions of alive nodes; non-nil
+	// only when the space is a *metric.Euclidean (euclid caches the
+	// downcast). Kill/Revive/Move keep it incrementally synchronized, so
+	// dynamic runs get the same query asymptotics as static ones. When nil,
+	// every spatial query falls back to the O(n) scan path.
+	grid   *geom.Grid
+	euclid *metric.Euclidean
+
+	// maxDecode is the model's hard decode cutoff (model.RangeLimiter), or 0
+	// when the model declares none; it gates the transmitter-outward
+	// reception fast path in Step.
+	maxDecode float64
+
+	// needPower reports whether the per-slot interference field (Phase 2)
+	// must be built: false only for model.FieldOblivious models running
+	// without any power-sensing primitive.
+	needPower bool
+
+	// idx accumulates spatial-index work counters; idxFlushed tracks what
+	// has already been exported to the metrics registry. viewFallbacks
+	// counts TransmittersWithin calls that exceeded the per-radius cache.
+	idx           IndexStats
+	idxFlushed    IndexStats
+	viewFallbacks int64
+
 	// invalidOps counts mutator calls (Kill/Revive/Move) that named an
 	// out-of-range node id and were rejected as no-ops.
 	invalidOps int64
@@ -160,6 +193,28 @@ type Sim struct {
 	chanBuf    []int8
 	chanTx     [][]int
 	seizedBuf  []bool
+	msgBuf     []Message // message per transmitter id; valid where isTxBuf
+	isTxBuf    []bool    // transmitter membership this slot
+	nbrBuf     []int     // grid-backed forEachNeighbor scratch
+	views      []slotView
+	obsBuf     Observation
+}
+
+// IndexStats counts the spatial-index work a simulation has performed, for
+// run diagnostics and the opt-in "sim/index/*" metrics.
+type IndexStats struct {
+	// TxQueries is the number of transmitter-outward reception queries
+	// (one per transmitter per slot on the indexed path).
+	TxQueries int64
+	// Candidates is the number of candidate listeners those queries
+	// enumerated before filtering and decoding.
+	Candidates int64
+	// CountQueries is the number of grid-backed TransmittersWithin point
+	// counts the slot views resolved.
+	CountQueries int64
+	// NeighborQueries is the number of grid-backed forEachNeighbor
+	// enumerations (dynamic spaces only; static spaces use the cache).
+	NeighborQueries int64
 }
 
 // New constructs a simulation. Protocol instances for all nodes are created
@@ -263,14 +318,43 @@ func New(cfg Config, factory ProtocolFactory) (*Sim, error) {
 			s.phase[i] = clk.Intn(s.period[i])
 		}
 	}
+	if e, ok := cfg.Space.(*metric.Euclidean); ok {
+		if cell := cfg.Model.R(); cell > 0 && !math.IsInf(cell, 0) && !math.IsNaN(cell) {
+			s.euclid = e
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = e.Point(i)
+			}
+			s.grid = geom.NewGrid(pts, cell)
+		}
+	}
+	if rl, ok := cfg.Model.(model.RangeLimiter); ok {
+		if r := rl.MaxDecodeRange(); r > 0 && !math.IsInf(r, 0) && !math.IsNaN(r) {
+			s.maxDecode = r
+		}
+	}
+	s.needPower = true
+	if fo, ok := cfg.Model.(model.FieldOblivious); ok && fo.FieldOblivious() &&
+		!cfg.Primitives.Has(CD) && !cfg.Primitives.Has(ACK) {
+		s.needPower = false
+	}
 	if !cfg.Dynamic {
 		s.buildNeighbours()
 	}
 	if cfg.Metrics != nil {
-		s.met = newStepMetrics(cfg.Metrics)
+		s.met = newStepMetrics(cfg.Metrics, cfg.IndexMetrics)
 	}
 	return s, nil
 }
+
+// indexSlack inflates every grid query radius before the exact per-pair
+// distance re-check. The grid compares squared distances while the rest of
+// the simulator compares sqrt-ed ones; at a radius boundary the two can
+// disagree by an ulp, so the index enumerates a hair beyond the radius and
+// the exact metric.Space.Dist comparison — the same expression the scan
+// paths evaluate — makes the final call. Grid-backed and scan results are
+// therefore byte-identical, not merely approximately equal.
+const indexSlack = 1 + 1e-9
 
 // buildNeighbours precomputes directed out-neighbour lists at radius rbAck.
 // Distances are static whenever the space is, even under churn, so the cache
@@ -352,6 +436,9 @@ func (s *Sim) Kill(v int) {
 		return
 	}
 	s.alive[v] = false
+	if s.grid != nil {
+		s.grid.Remove(v)
+	}
 }
 
 // Revive returns node v to the network with a fresh protocol instance and a
@@ -370,6 +457,9 @@ func (s *Sim) Revive(v int) {
 	s.generation[v]++
 	s.nodes[v] = Node{ID: v, RNG: s.root.Fork(uint64(v) ^ s.generation[v]<<40)}
 	s.protos[v] = s.factory(v)
+	if s.grid != nil {
+		s.grid.Insert(v, s.euclid.Point(v))
+	}
 }
 
 // InvalidOps returns how many Kill/Revive/Move calls named an out-of-range
@@ -392,6 +482,11 @@ func (s *Sim) Move(v int, p geom.Point) error {
 		return errors.New("sim: Move requires a Euclidean space")
 	}
 	e.SetPoint(v, p)
+	if s.grid != nil {
+		// Dead nodes are absent from the index; Grid.Move then just records
+		// the new position, which the Revive-time Insert picks up.
+		s.grid.Move(v, p)
+	}
 	return nil
 }
 
@@ -442,12 +537,36 @@ func (s *Sim) NeighborCount(u int) int {
 
 // forEachNeighbor visits all alive v != u with d(u,v) <= r, using the cache
 // when available (the cache holds radius rbAck ≥ rb ≥ any r we query).
+// Dynamic Euclidean spaces have no cache but do have the live grid index:
+// candidates come from the index (inflated by indexSlack), pass the same
+// exact Dist check as the scan path, and are visited in ascending id order —
+// so membership and order match the brute scan exactly. fn must not call
+// forEachNeighbor reentrantly (shared scratch buffer).
 func (s *Sim) forEachNeighbor(u int, r float64, fn func(v int)) {
 	if s.neigh != nil && r <= s.rbAck {
 		for _, v := range s.neigh[u] {
 			if s.alive[v] && s.cfg.Space.Dist(u, int(v)) <= r {
 				fn(int(v))
 			}
+		}
+		return
+	}
+	if s.grid != nil {
+		s.idx.NeighborQueries++
+		s.nbrBuf = s.nbrBuf[:0]
+		it := s.grid.IterWithin(s.euclid.Point(u), r*indexSlack)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if v != u && s.alive[v] && s.cfg.Space.Dist(u, v) <= r {
+				s.nbrBuf = append(s.nbrBuf, v)
+			}
+		}
+		slices.Sort(s.nbrBuf)
+		for _, v := range s.nbrBuf {
+			fn(v)
 		}
 		return
 	}
@@ -530,4 +649,37 @@ func (s *Sim) Contention(v int, radius float64) float64 {
 // transmission probability, enabling contention instrumentation.
 type ProbReporter interface {
 	TransmitProb() float64
+}
+
+// IndexMode reports how the simulation resolves spatial queries: "grid"
+// when the live spatial index is active (Euclidean space with a positive
+// model radius), "scan" otherwise.
+func (s *Sim) IndexMode() string {
+	if s.grid != nil {
+		return "grid"
+	}
+	return "scan"
+}
+
+// IndexStats returns the cumulative spatial-index work counters.
+func (s *Sim) IndexStats() IndexStats { return s.idx }
+
+// ViewRadiusFallbacks returns how many TransmittersWithin queries exceeded
+// the slot view's two-radius cache and fell back to a direct count. The
+// shipped models use at most two distinct radii, so a non-zero value flags
+// a model whose query pattern defeats the cache.
+func (s *Sim) ViewRadiusFallbacks() int64 { return s.viewFallbacks }
+
+// noteRadiusFallback records a TransmittersWithin radius-cache miss. The
+// "sim/view/radius_fallback" counter is registered lazily on first use so
+// runs that never fall back (all shipped models) keep their registry
+// snapshot instrument set unchanged.
+func (s *Sim) noteRadiusFallback() {
+	s.viewFallbacks++
+	if m := s.met; m != nil {
+		if m.radiusFallback == nil {
+			m.radiusFallback = m.reg.Counter("sim/view/radius_fallback")
+		}
+		m.radiusFallback.Inc()
+	}
 }

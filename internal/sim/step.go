@@ -3,7 +3,16 @@ package sim
 import "math"
 
 // slotView implements model.View over the current slot with cached
-// interference sums and lazily built within-radius counts.
+// interference sums and lazily resolved within-radius transmitter counts.
+//
+// Two count paths exist. The scan path builds a full per-node count vector
+// per queried radius in one O(|tx|·n) pass — the only option for opaque
+// (non-Euclidean) spaces. The grid path answers each (node, radius) query
+// from the simulation's spatial index in O(local density), memoized per node
+// for the slot; Step enables it (useGrid) whenever the sim has a live grid.
+// Hand-built views (tests) leave useGrid false and exercise the scan path.
+// Both paths apply the exact Space.Dist comparison, so their counts are
+// identical.
 type slotView struct {
 	s  *Sim
 	tx []int
@@ -12,11 +21,37 @@ type slotView struct {
 	total []float64
 	// scale holds per-node transmission power scales (1 for unscaled).
 	scale []float64
-	// cnt caches TransmittersWithin vectors per radius; models use at most
+	// ch is the channel this view covers; transmitter-membership tests
+	// filter by it.
+	ch int8
+	// useGrid selects the spatial-index count path.
+	useGrid bool
+	// epoch is tick+1 while the view is live inside Step, 0 in hand-built
+	// views; it validates the per-node grid-count memo across slots.
+	epoch int64
+
+	// cntRadii registers the radii queried this slot; models use at most
 	// two distinct radii, so a tiny linear store beats a map.
 	cntRadii [2]float64
-	cnt      [2][]int16
 	cntN     int
+	// vec holds the scan path's full count vectors, rebuilt in place.
+	vec [2][]int16
+	// cnt/cntTick memoize grid-path per-node counts; cntTick[i][v] == epoch
+	// marks cnt[i][v] valid for the current slot.
+	cnt     [2][]int32
+	cntTick [2][]int64
+}
+
+// reset re-arms a persistent view for the current slot.
+func (vw *slotView) reset(s *Sim, tx []int, ch int8, epoch int64) {
+	vw.s = s
+	vw.tx = tx
+	vw.total = s.totalPower
+	vw.scale = s.scaleBuf
+	vw.ch = ch
+	vw.useGrid = s.grid != nil
+	vw.epoch = epoch
+	vw.cntN = 0
 }
 
 func (vw *slotView) Transmitters() []int { return vw.tx }
@@ -33,25 +68,21 @@ func (vw *slotView) TotalPower(v int) float64 { return vw.total[v] }
 func (vw *slotView) TransmittersWithin(v int, r float64, excluding int) int {
 	for i := 0; i < vw.cntN; i++ {
 		if vw.cntRadii[i] == r {
-			return vw.adjust(int(vw.cnt[i][v]), v, r, excluding)
+			return vw.adjust(vw.countAt(i, v, r), v, r, excluding)
 		}
 	}
-	if vw.cntN < len(vw.cnt) {
-		// Build the full count vector for this radius in one pass.
-		counts := make([]int16, vw.s.n)
-		for _, w := range vw.tx {
-			for v2 := 0; v2 < vw.s.n; v2++ {
-				if v2 != w && vw.s.cfg.Space.Dist(w, v2) <= r {
-					counts[v2]++
-				}
-			}
-		}
-		vw.cntRadii[vw.cntN] = r
-		vw.cnt[vw.cntN] = counts
+	if vw.cntN < len(vw.cntRadii) {
+		i := vw.cntN
+		vw.cntRadii[i] = r
 		vw.cntN++
-		return vw.adjust(int(counts[v]), v, r, excluding)
+		if !vw.useGrid {
+			vw.buildVec(i, r)
+		}
+		return vw.adjust(vw.countAt(i, v, r), v, r, excluding)
 	}
-	// Fallback: direct count (should not happen with the shipped models).
+	// Fallback: direct count. No shipped model queries a third radius, so
+	// hitting this is flagged (see ViewRadiusFallbacks).
+	vw.s.noteRadiusFallback()
 	n := 0
 	for _, w := range vw.tx {
 		if w == v || w == excluding {
@@ -64,17 +95,88 @@ func (vw *slotView) TransmittersWithin(v int, r float64, excluding int) int {
 	return n
 }
 
-func (vw *slotView) adjust(count, v int, r float64, excluding int) int {
-	if excluding >= 0 && excluding != v && vw.s.cfg.Space.Dist(excluding, v) <= r {
-		// Only subtract if the excluded node is actually transmitting.
-		for _, w := range vw.tx {
-			if w == excluding {
-				count--
-				break
+// countAt resolves the count of transmitters within registered radius slot i
+// of node v (self excluded).
+func (vw *slotView) countAt(i, v int, r float64) int {
+	if !vw.useGrid {
+		return int(vw.vec[i][v])
+	}
+	if vw.cnt[i] == nil {
+		vw.cnt[i] = make([]int32, vw.s.n)
+		vw.cntTick[i] = make([]int64, vw.s.n)
+	}
+	if vw.cntTick[i][v] == vw.epoch {
+		return int(vw.cnt[i][v])
+	}
+	c := vw.gridCount(v, r)
+	vw.cnt[i][v] = int32(c)
+	vw.cntTick[i][v] = vw.epoch
+	return c
+}
+
+// gridCount counts this channel's transmitters within r of v from the
+// spatial index: the index enumerates a superset (radius inflated by
+// indexSlack), the exact Dist comparison — the same one the scan path
+// evaluates — decides membership.
+func (vw *slotView) gridCount(v int, r float64) int {
+	s := vw.s
+	s.idx.CountQueries++
+	n := 0
+	it := s.grid.IterWithin(s.euclid.Point(v), r*indexSlack)
+	for {
+		w, ok := it.Next()
+		if !ok {
+			return n
+		}
+		if w != v && s.isTxBuf[w] && s.chanBuf[w] == vw.ch && s.cfg.Space.Dist(w, v) <= r {
+			n++
+		}
+	}
+}
+
+// buildVec rebuilds the scan path's count vector for radius slot i in place.
+func (vw *slotView) buildVec(i int, r float64) {
+	n := vw.s.n
+	if cap(vw.vec[i]) < n {
+		vw.vec[i] = make([]int16, n)
+	} else {
+		vw.vec[i] = vw.vec[i][:n]
+		for j := range vw.vec[i] {
+			vw.vec[i][j] = 0
+		}
+	}
+	counts := vw.vec[i]
+	for _, w := range vw.tx {
+		for v2 := 0; v2 < n; v2++ {
+			if v2 != w && vw.s.cfg.Space.Dist(w, v2) <= r {
+				counts[v2]++
 			}
 		}
 	}
+}
+
+func (vw *slotView) adjust(count, v int, r float64, excluding int) int {
+	if excluding >= 0 && excluding != v && vw.s.cfg.Space.Dist(excluding, v) <= r {
+		// Only subtract if the excluded node is actually transmitting.
+		if vw.isTransmitter(excluding) {
+			count--
+		}
+	}
 	return count
+}
+
+// isTransmitter reports whether w transmits on this view's channel. Inside
+// Step the per-slot flags answer in O(1); hand-built views scan their tx.
+func (vw *slotView) isTransmitter(w int) bool {
+	if vw.epoch != 0 {
+		return vw.s.isTxBuf[w] && vw.s.chanBuf[w] == vw.ch
+	}
+	for _, x := range vw.tx {
+		if x == w {
+			return true
+		}
+	}
+	return false
 }
 
 // Step advances the simulation by one tick (one slot).
@@ -98,15 +200,17 @@ func (s *Sim) Step() {
 		s.chanBuf = make([]int8, s.n)
 		s.chanTx = make([][]int, nChan)
 		s.seizedBuf = make([]bool, s.n)
+		s.msgBuf = make([]Message, s.n)
+		s.isTxBuf = make([]bool, s.n)
 	}
 	for c := range s.chanTx {
 		s.chanTx[c] = s.chanTx[c][:0]
 	}
-	transmitted := make(map[int]Message, 8)
 	for v := 0; v < s.n; v++ {
 		s.scaleBuf[v] = 1
 		s.chanBuf[v] = 0
 		s.seizedBuf[v] = false
+		s.isTxBuf[v] = false
 		if !s.alive[v] {
 			continue
 		}
@@ -129,7 +233,8 @@ func (s *Sim) Step() {
 		}
 		if act.Transmit {
 			act.Msg.Src = v
-			transmitted[v] = act.Msg
+			s.msgBuf[v] = act.Msg
+			s.isTxBuf[v] = true
 			s.txBuf = append(s.txBuf, v)
 			s.chanTx[s.chanBuf[v]] = append(s.chanTx[s.chanBuf[v]], v)
 			s.txCount[v]++
@@ -142,72 +247,144 @@ func (s *Sim) Step() {
 
 	// Phase 2: interference field (power scales applied). totalPower[v] is
 	// the interference on v's tuned channel: only same-channel
-	// transmissions reach a tuned radio.
-	for v := 0; v < s.n; v++ {
-		s.totalPower[v] = 0
-	}
-	for _, w := range s.txBuf {
-		sc := s.scaleBuf[w]
-		wc := s.chanBuf[w]
+	// transmissions reach a tuned radio. Skipped entirely for
+	// field-oblivious models running without power-sensing primitives —
+	// nothing in the slot reads the field then.
+	if s.needPower {
 		for v := 0; v < s.n; v++ {
-			if s.chanBuf[v] == wc {
-				s.totalPower[v] += s.field.Power(w, v) * sc
+			s.totalPower[v] = 0
+		}
+		for _, w := range s.txBuf {
+			sc := s.scaleBuf[w]
+			wc := s.chanBuf[w]
+			for v := 0; v < s.n; v++ {
+				if s.chanBuf[v] == wc {
+					s.totalPower[v] += s.field.Power(w, v) * sc
+				}
 			}
 		}
 	}
-	// One view per channel; with a single channel this is the old view.
-	views := make([]*slotView, nChan)
+	// One persistent view per channel; with a single channel this is the
+	// old single view.
+	if len(s.views) != nChan {
+		s.views = make([]slotView, nChan)
+	}
+	epoch := int64(s.tick) + 1
 	for c := 0; c < nChan; c++ {
 		tx := s.txBuf
 		if nChan > 1 {
 			tx = s.chanTx[c]
 		}
-		views[c] = &slotView{s: s, tx: tx, total: s.totalPower, scale: s.scaleBuf}
+		s.views[c].reset(s, tx, int8(c), epoch)
 	}
 
-	// Phase 3: receptions for every alive, non-transmitting listener.
+	// Phase 3: receptions. Two equivalent drivers:
+	//
+	// Indexed (transmitter-outward): each transmitter pushes to the
+	// listeners the spatial index finds inside its decode cutoff — the
+	// model's MaxDecodeRange, widened by scale^{1/ζ} for boosted
+	// transmissions and narrowed to scale^{1/ζ}·R for attenuated ones.
+	// Beyond the cutoff Decodes is guaranteed false, so skipping those
+	// pairs changes nothing. Iterating transmitters in ascending id keeps
+	// every recvBuf[v] in the same ascending-transmitter order the listener
+	// scan produces.
+	//
+	// Scan (listener-oriented): every alive non-transmitting listener
+	// checks every same-channel transmitter. Used when there is no index,
+	// no declared cutoff, or — crucially — when an injector is attached:
+	// Injector.DropRecv is specified to run once per candidate pair in the
+	// scan order, and its observable side effects (fault counters) must
+	// not depend on the indexing strategy.
 	for v := 0; v < s.n; v++ {
 		s.recvBuf[v] = s.recvBuf[v][:0]
 	}
 	mdl := s.cfg.Model
-	for v := 0; v < s.n; v++ {
-		if !s.alive[v] {
-			continue
-		}
-		if _, isTx := transmitted[v]; isTx {
-			continue // half-duplex
-		}
-		vw := views[s.chanBuf[v]]
-		for _, u := range vw.tx {
-			if inj != nil && inj.DropRecv(u, v, s.tick) {
-				// Ground-truth loss: the frame never reaches v's protocol,
-				// so u's mass delivery and coverage miss v this slot too.
-				continue
-			}
-			// A power-scaled transmission is decodable only within the
-			// reduced range scale^{1/ζ}·R (exact for SINR, and the defining
-			// cutoff for models without a power notion).
-			if s.scaleBuf[u] < 1 {
-				maxRange := math.Pow(s.scaleBuf[u], 1/s.cfg.Zeta) * mdl.R()
-				if s.cfg.Space.Dist(u, v) > maxRange {
-					continue
+	if s.grid != nil && inj == nil && s.maxDecode > 0 {
+		zinv := 1 / s.cfg.Zeta
+		for _, u := range s.txBuf {
+			sc := s.scaleBuf[u]
+			cutoff := s.maxDecode
+			if sc > 1 {
+				cutoff *= math.Pow(sc, zinv)
+			} else if sc < 1 {
+				if r := math.Pow(sc, zinv) * mdl.R(); r < cutoff {
+					cutoff = r
 				}
 			}
-			if mdl.Decodes(vw, u, v) {
-				s.recvBuf[v] = append(s.recvBuf[v], Recv{
-					From: u,
-					Msg:  transmitted[u],
-					RSS:  s.field.Power(u, v) * s.scaleBuf[u],
-				})
+			uc := s.chanBuf[u]
+			vw := &s.views[uc]
+			s.idx.TxQueries++
+			it := s.grid.IterWithin(s.euclid.Point(u), cutoff*indexSlack)
+			for {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				s.idx.Candidates++
+				if v == u || s.isTxBuf[v] || s.chanBuf[v] != uc || !s.alive[v] {
+					continue
+				}
+				if sc < 1 {
+					maxRange := math.Pow(sc, zinv) * mdl.R()
+					if s.cfg.Space.Dist(u, v) > maxRange {
+						continue
+					}
+				}
+				if mdl.Decodes(vw, u, v) {
+					s.recvBuf[v] = append(s.recvBuf[v], Recv{
+						From: u,
+						Msg:  s.msgBuf[u],
+						RSS:  s.field.Power(u, v) * sc,
+					})
+				}
 			}
 		}
-		if len(s.recvBuf[v]) > 0 {
-			if s.firstDecode[v] < 0 {
-				s.firstDecode[v] = int32(s.tick)
+	} else {
+		for v := 0; v < s.n; v++ {
+			if !s.alive[v] {
+				continue
 			}
-			for _, rc := range s.recvBuf[v] {
-				s.recordCoverage(rc.From, v)
+			if s.isTxBuf[v] {
+				continue // half-duplex
 			}
+			vw := &s.views[s.chanBuf[v]]
+			for _, u := range vw.tx {
+				if inj != nil && inj.DropRecv(u, v, s.tick) {
+					// Ground-truth loss: the frame never reaches v's protocol,
+					// so u's mass delivery and coverage miss v this slot too.
+					continue
+				}
+				// A power-scaled transmission is decodable only within the
+				// reduced range scale^{1/ζ}·R (exact for SINR, and the defining
+				// cutoff for models without a power notion).
+				if s.scaleBuf[u] < 1 {
+					maxRange := math.Pow(s.scaleBuf[u], 1/s.cfg.Zeta) * mdl.R()
+					if s.cfg.Space.Dist(u, v) > maxRange {
+						continue
+					}
+				}
+				if mdl.Decodes(vw, u, v) {
+					s.recvBuf[v] = append(s.recvBuf[v], Recv{
+						From: u,
+						Msg:  s.msgBuf[u],
+						RSS:  s.field.Power(u, v) * s.scaleBuf[u],
+					})
+				}
+			}
+		}
+	}
+	// First-decode and coverage bookkeeping, in ascending listener order and
+	// ascending transmitter order within each listener — the same sequence
+	// for both reception drivers.
+	for v := 0; v < s.n; v++ {
+		if len(s.recvBuf[v]) == 0 {
+			continue
+		}
+		if s.firstDecode[v] < 0 {
+			s.firstDecode[v] = int32(s.tick)
+		}
+		for _, rc := range s.recvBuf[v] {
+			s.recordCoverage(rc.From, v)
 		}
 	}
 
@@ -268,7 +445,8 @@ func (s *Sim) Step() {
 	// Sensing outcomes are tallied (post-corruption, i.e. what the
 	// protocols actually observed) only when a trace observer or a metrics
 	// registry is attached, so the uninstrumented path pays one branch per
-	// observation.
+	// observation. The Observation is a reused scratch value: it and its
+	// slices are only valid for the duration of the Observe call.
 	prim := s.cfg.Primitives
 	tally := s.met != nil || s.cfg.Observer != nil
 	var cdBusy, cdIdle, acks, ackMiss, ntds int
@@ -276,8 +454,9 @@ func (s *Sim) Step() {
 		if !s.alive[v] {
 			continue // killed mid-tick by nothing today, but stay safe
 		}
-		_, isTx := transmitted[v]
-		obs := Observation{
+		isTx := s.isTxBuf[v]
+		obs := &s.obsBuf
+		*obs = Observation{
 			Tick:        s.tick,
 			Slot:        slot,
 			Transmitted: isTx,
@@ -305,7 +484,7 @@ func (s *Sim) Step() {
 			}
 		}
 		if inj != nil {
-			inj.Observation(v, s.tick, &obs)
+			inj.Observation(v, s.tick, obs)
 		}
 		if tally {
 			if prim.Has(CD) {
@@ -326,7 +505,7 @@ func (s *Sim) Step() {
 				ntds++
 			}
 		}
-		s.protos[v].Observe(&s.nodes[v], slot, &obs)
+		s.protos[v].Observe(&s.nodes[v], slot, obs)
 	}
 	if s.cfg.Async {
 		for v := 0; v < s.n; v++ {
@@ -374,6 +553,7 @@ func (s *Sim) Step() {
 			m.ntd.Add(int64(ntds))
 			m.txPerSlot.Observe(float64(len(s.txBuf)))
 			m.contention.Observe(s.probMass())
+			s.flushIndexStats()
 		}
 	}
 

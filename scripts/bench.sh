@@ -6,6 +6,12 @@
 # tool/version/started plus one record per benchmark — so benchmark history
 # can be diffed and machine-read like `-manifest` output.
 #
+# The default package set includes the indexed-vs-brute hot-path pair
+# (BenchmarkStepSparse4096Indexed / BenchmarkStepSparse4096Brute in
+# internal/sim): their ratio is the speedup of the grid-indexed slot loop
+# over the O(n·|tx|) scan on a sparse n=4096 deployment, and should stay
+# well above 3x.
+#
 # Usage: scripts/bench.sh [out.json] [-- <go test packages...>]
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -25,3 +25,8 @@ go test -race -timeout 5m ./internal/metrics
 # Fast determinism smoke of the observability seams (progress stream,
 # manifest rendering, cross-worker metric merges) even in short mode.
 go test -short -timeout 5m -run 'Progress|Manifest|Metrics' ./internal/experiment ./internal/metrics
+# The spatial-index hot path must be byte-identical to the brute-force scan
+# under every topology/model/fault mix, including across goroutines; run the
+# differential property tests under the race detector explicitly so a shard
+# of the suites above can never silently skip them.
+go test -race -timeout 10m -run 'TestGridScanEquivalence|TestGridParallelRunsAgree' ./internal/sim

@@ -204,6 +204,10 @@ type SimOptions struct {
 	// under the "sim/" name prefix. One registry may be shared across runs;
 	// its commutative counters merge deterministically.
 	Metrics *metrics.Registry
+	// IndexMetrics additionally registers the "sim/index/*" spatial-index
+	// work counters with Metrics (off by default to keep existing snapshot
+	// instrument sets stable).
+	IndexMetrics bool
 }
 
 // NewSim constructs a simulator over the network.
@@ -228,6 +232,7 @@ func (nw *Network) NewSim(factory sim.ProtocolFactory, o SimOptions) (*sim.Sim, 
 		TrackCoverage: o.TrackCoverage,
 		Injector:      o.Injector,
 		Metrics:       o.Metrics,
+		IndexMetrics:  o.IndexMetrics,
 	}
 	s, err := sim.New(cfg, factory)
 	if err != nil {
