@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seeds N] [-workers N] [-progress] [-manifest out.json] [id ...]
+//	experiments [-quick] [-seeds N] [-workers N] [-progress] [-manifest out.json]
+//	            [-checkpoint DIR [-resume] [-cache-stats]] [id ...]
 //
 // With no ids, all experiments run in report order. Each experiment's
 // (cell × seed) grid is evaluated on -workers concurrent workers (default:
@@ -13,15 +14,24 @@
 // -manifest writes a machine-readable run record — config, version, metric
 // snapshot, per-cell timings, failures — as JSON. -cpuprofile and
 // -memprofile write pprof profiles of the run.
+//
+// -checkpoint DIR attaches a content-addressed cell-result store (see
+// internal/checkpoint): every completed grid cell is journalled to
+// DIR/cells.journal as it finishes, so a killed run loses at most the cells
+// still in flight. A fresh run truncates any existing store in DIR; pass
+// -resume to reuse it instead, replaying completed cells from the journal
+// and computing only the rest. Output and manifests are byte-identical with
+// or without a store and across any interrupt/resume pattern. -cache-stats
+// prints the hit/miss traffic on stderr after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
+	"udwn/internal/checkpoint"
 	"udwn/internal/experiment"
 	"udwn/internal/metrics"
 )
@@ -35,6 +45,9 @@ func main() {
 	progress := flag.Bool("progress", false, "render live done/total cells and ETA on stderr")
 	indexMetrics := flag.Bool("index-metrics", false, "register the sim/index/* spatial-index work counters in the metric snapshot")
 	manifest := flag.String("manifest", "", "write a JSON run manifest (config, metrics, per-cell timings) to this file")
+	checkpointDir := flag.String("checkpoint", "", "journal completed grid cells to a content-addressed store in this directory")
+	resume := flag.Bool("resume", false, "reuse the -checkpoint store, replaying completed cells instead of recomputing them")
+	cacheStats := flag.Bool("cache-stats", false, "print checkpoint hit/miss statistics on stderr after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -45,6 +58,15 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint DIR (there is no store to resume from)")
+		os.Exit(1)
+	}
+	if *cacheStats && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -cache-stats requires -checkpoint DIR")
+		os.Exit(1)
 	}
 
 	if *cpuprofile != "" {
@@ -79,6 +101,19 @@ func main() {
 		ui := &progressUI{out: os.Stderr}
 		opts.Progress = ui.report
 	}
+	if *checkpointDir != "" {
+		open := checkpoint.Create
+		if *resume {
+			open = checkpoint.Resume
+		}
+		store, err := open(*checkpointDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		opts.Checkpoint = store
+	}
 
 	selected := experiment.All()
 	if args := flag.Args(); len(args) > 0 {
@@ -101,8 +136,30 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 
+	if *cacheStats {
+		st := opts.Checkpoint.Stats()
+		fmt.Fprintf(os.Stderr,
+			"checkpoint: %d hits, %d misses, %d stored, %d records in %s",
+			st.Hits, st.Misses, st.Stores, st.Records, *checkpointDir)
+		if st.Resumed {
+			fmt.Fprintf(os.Stderr, " (resumed")
+			if st.TornBytes > 0 {
+				fmt.Fprintf(os.Stderr, ", dropped %d torn journal byte(s)", st.TornBytes)
+			}
+			fmt.Fprintf(os.Stderr, ")")
+		}
+		if st.Errors > 0 {
+			fmt.Fprintf(os.Stderr, ", %d store error(s)", st.Errors)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	if *manifest != "" {
-		if err := writeManifest(*manifest, selected, opts, reg, report, time.Since(suiteStart)); err != nil {
+		ids := make([]string, len(selected))
+		for i, e := range selected {
+			ids[i] = e.ID
+		}
+		m := experiment.BuildManifest(ids, opts, report, time.Since(suiteStart))
+		if err := m.WriteFile(*manifest); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -118,34 +175,6 @@ func main() {
 			len(failures), report.Counters(), report)
 		os.Exit(2)
 	}
-}
-
-// writeManifest assembles the run record: effective configuration, the
-// merged metric snapshot, auxiliary counters, per-cell timings and any
-// failure markers.
-func writeManifest(path string, selected []experiment.Experiment,
-	opts experiment.Options, reg *metrics.Registry, report *experiment.RunReport,
-	wall time.Duration) error {
-	ids := make([]string, len(selected))
-	for i, e := range selected {
-		ids[i] = e.ID
-	}
-	m := metrics.NewManifest("experiments")
-	m.SetConfig("experiments", strings.Join(ids, " "))
-	m.SetConfig("quick", opts.Quick)
-	m.SetConfig("seeds", opts.Seeds)
-	m.SetConfig("workers", opts.Workers)
-	m.SetConfig("retries", opts.Retries)
-	m.SetConfig("cell-timeout", opts.CellTimeout)
-	m.SetConfig("index-metrics", opts.IndexMetrics)
-	m.WallNs = int64(wall)
-	m.Metrics = reg.Snapshot()
-	m.Counters = report.Counters().Map()
-	m.Cells = report.Timings()
-	for _, f := range report.Failures() {
-		m.Failures = append(m.Failures, f.String())
-	}
-	return m.WriteFile(path)
 }
 
 // progressUI renders the grid's serialised Progress stream as a single

@@ -2,10 +2,14 @@
 // `dissem -trace`: channel utilisation over time, throughput, and the
 // busiest transmitters. With -counters it instead renders the trace's
 // aggregate sensing and decode counters in the metrics layer's format.
+// With -checkpoint DIR it inspects an experiment checkpoint store instead
+// of a trace: per-experiment record counts, journal health and the store's
+// content hash.
 //
 // Usage:
 //
 //	traceinfo [-buckets N] [-top K] [-counters] run.jsonl
+//	traceinfo -checkpoint DIR
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
 	"udwn/internal/sim"
 	"udwn/internal/trace"
@@ -30,7 +35,14 @@ func run() error {
 	buckets := flag.Int("buckets", 10, "number of time buckets in the utilisation profile")
 	top := flag.Int("top", 5, "how many of the busiest transmitters to list")
 	counters := flag.Bool("counters", false, "render aggregate sensing/decode counters instead of the profile")
+	checkpointDir := flag.String("checkpoint", "", "inspect an experiment checkpoint store directory instead of a trace")
 	flag.Parse()
+	if *checkpointDir != "" {
+		if flag.NArg() != 0 {
+			return fmt.Errorf("usage: traceinfo -checkpoint DIR (no trace file)")
+		}
+		return reportCheckpoint(os.Stdout, *checkpointDir)
+	}
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] [-counters] <trace.jsonl>")
 	}
@@ -52,6 +64,41 @@ func run() error {
 		return nil
 	}
 	report(os.Stdout, events, *buckets, *top)
+	return nil
+}
+
+// reportCheckpoint summarises a cell-result store: record counts per
+// experiment, payload volume, journal health and the order-independent
+// content hash. Opening runs the store's normal recovery, so a torn tail
+// left by a killed run is repaired (and reported) exactly as -resume would.
+func reportCheckpoint(w *os.File, dir string) error {
+	store, err := checkpoint.Resume(dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	perExp := map[string]int{}
+	var order []string
+	var payload int64
+	store.Each(func(rec *checkpoint.Record) {
+		if _, seen := perExp[rec.Experiment]; !seen {
+			order = append(order, rec.Experiment)
+		}
+		perExp[rec.Experiment]++
+		payload += int64(len(rec.Value) + len(rec.Metrics))
+	})
+
+	st := store.Stats()
+	fmt.Fprintf(w, "checkpoint store %s: %d record(s), %d payload byte(s)\n",
+		dir, st.Records, payload)
+	if st.TornBytes > 0 {
+		fmt.Fprintf(w, "recovered: dropped %d torn journal byte(s)\n", st.TornBytes)
+	}
+	for _, id := range order {
+		fmt.Fprintf(w, "  %-10s %5d cell(s)\n", id, perExp[id])
+	}
+	fmt.Fprintf(w, "store hash: %s\n", store.Hash())
 	return nil
 }
 

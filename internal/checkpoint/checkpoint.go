@@ -1,0 +1,388 @@
+// Package checkpoint is a content-addressed, append-only store for
+// experiment grid cell results, built so that the full-scale reproduction
+// sweeps (hours of deterministic work) survive interruption: a resumed run
+// replays completed cells from the store and is byte-identical to an
+// uninterrupted one.
+//
+// Addressing. Every record is keyed by a SHA-256 over the experiment id,
+// the cell's grid label (which carries its row/seed coordinates) and a
+// schema version string capturing everything else that determines the
+// cell's value and instrumentation (result type shape, Quick scaling,
+// whether metrics are attached — see internal/experiment). Because every
+// grid cell is a pure function of those coordinates, a key either misses or
+// hits a value that is bit-for-bit what re-running the cell would produce.
+//
+// Atomicity discipline. The store is a single append-only journal
+// (cells.journal). Each record is framed as
+//
+//	magic "UCP1" | uint32 payload length | uint32 CRC-32C | payload
+//
+// with the payload a self-contained gob encoding of the Record. Records
+// are appended under the store mutex with one Write call; a crash (even
+// SIGKILL) mid-append leaves at most one torn frame at the end of the file.
+// Resume recovery scans the journal front to back and truncates at the
+// first frame that fails validation — a torn or corrupt tail costs only the
+// cells it covered, never the records before it. There is no in-place
+// mutation anywhere, so no write can corrupt an already-committed record.
+//
+// FAILED grid cells are deliberately never stored: the self-healing retry
+// path in internal/experiment must re-run them fresh on resume rather than
+// replay the failure.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is the content address of one cell result.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf derives the content address of a cell from its coordinates. Each
+// field is length-prefixed before hashing, so no two distinct
+// (experiment, label, schema) triples can collide by concatenation.
+func KeyOf(experiment, label, schema string) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, s := range []string{experiment, label, schema} {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		io.WriteString(h, s)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Record is one committed cell result: identity, the gob-encoded cell
+// value, the cell's (timing-zeroed, hence deterministic) metrics snapshot,
+// and how many attempts the cell took when it was computed — replayed on a
+// cache hit so resumed run manifests match uninterrupted ones byte for
+// byte.
+type Record struct {
+	Experiment string
+	Label      string
+	Schema     string
+	Attempts   int
+	// Value is the gob encoding of the cell's typed result.
+	Value []byte
+	// Metrics is the JSON encoding of the cell's metrics.Snapshot with
+	// timing fields zeroed; nil when the run was uninstrumented.
+	Metrics []byte
+}
+
+// Key returns the record's content address.
+func (r *Record) Key() Key { return KeyOf(r.Experiment, r.Label, r.Schema) }
+
+// Stats is a point-in-time view of one store session: the cache traffic
+// since Open, the store contents, and what recovery found.
+type Stats struct {
+	// Hits, Misses count Lookup outcomes; Stores counts Put commits and
+	// Errors counts failed Puts (the run continues, the cell is just not
+	// cached).
+	Hits, Misses, Stores, Errors int64
+	// Records is the number of distinct keys currently in the store.
+	Records int
+	// Resumed reports whether Open recovered an existing journal.
+	Resumed bool
+	// TornBytes is the length of the invalid tail recovery dropped (0 for a
+	// clean journal).
+	TornBytes int64
+}
+
+// Store is the on-disk cell-result store. All methods are safe for
+// concurrent use by grid workers.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	dir  string
+	recs map[Key]*Record
+
+	resumed   bool
+	tornBytes int64
+
+	hits, misses, stores, errors atomic.Int64
+}
+
+const (
+	journalName = "cells.journal"
+	// maxPayload bounds a frame's declared payload length. It exists so a
+	// corrupt or hostile length field cannot make recovery attempt a
+	// multi-gigabyte allocation; real cell records are a few KB.
+	maxPayload = 64 << 20
+)
+
+var magic = [4]byte{'U', 'C', 'P', '1'}
+
+// crcTable is the Castagnoli polynomial, chosen for its hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Create opens a fresh store in dir, discarding any existing journal. The
+// directory is created if missing.
+func Create(dir string) (*Store, error) { return open(dir, false) }
+
+// Resume opens the store in dir, recovering the existing journal: every
+// valid record prefix is loaded and a torn or corrupt tail is truncated
+// away. A missing journal yields an empty store.
+func Resume(dir string) (*Store, error) { return open(dir, true) }
+
+func open(dir string, resume bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	s := &Store{dir: dir, recs: make(map[Key]*Record), resumed: resume}
+	if !resume {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: create journal: %w", err)
+		}
+		s.f = f
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	valid, err := recoverJournal(f, s.recs)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seek journal: %w", err)
+	}
+	if valid < end {
+		s.tornBytes = end - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: seek journal: %w", err)
+		}
+	}
+	s.f = f
+	return s, nil
+}
+
+// recoverJournal scans the journal front to back, loading every record of
+// the longest valid prefix into recs, and returns the byte offset where
+// that prefix ends. It never fails on content: any framing, checksum or
+// decode violation simply ends the valid prefix (the caller truncates
+// there). Only I/O errors are returned.
+func recoverJournal(f *os.File, recs map[Key]*Record) (validEnd int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("checkpoint: seek journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: read journal: %w", err)
+	}
+	off := int64(0)
+	for {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
+			return off, nil
+		}
+		recs[rec.Key()] = rec
+		off += n
+	}
+}
+
+// decodeFrame parses one record frame from the front of data. ok=false
+// means data does not start with a complete valid frame (torn tail,
+// corruption, or simply empty).
+func decodeFrame(data []byte) (rec *Record, n int64, ok bool) {
+	const header = 4 + 4 + 4 // magic + length + crc
+	if len(data) < header {
+		return nil, 0, false
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data[4:8])
+	if plen == 0 || plen > maxPayload || int64(plen) > int64(len(data)-header) {
+		return nil, 0, false
+	}
+	payload := data[header : header+int(plen)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[8:12]) {
+		return nil, 0, false
+	}
+	var r Record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+		return nil, 0, false
+	}
+	return &r, int64(header) + int64(plen), true
+}
+
+// encodeFrame renders one record as a self-contained journal frame.
+func encodeFrame(rec *Record) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode record: %w", err)
+	}
+	if payload.Len() > maxPayload {
+		return nil, fmt.Errorf("checkpoint: record payload %d bytes exceeds limit", payload.Len())
+	}
+	frame := make([]byte, 0, 12+payload.Len())
+	frame = append(frame, magic[:]...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(payload.Len()))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), crcTable))
+	frame = append(frame, payload.Bytes()...)
+	return frame, nil
+}
+
+// Lookup returns the record stored under k, counting the outcome in the
+// session's hit/miss statistics.
+func (s *Store) Lookup(k Key) (*Record, bool) {
+	s.mu.Lock()
+	rec, ok := s.recs[k]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return rec, ok
+}
+
+// Put commits one record: a single append under the store mutex, so
+// concurrent grid workers interleave whole frames and a crash can tear at
+// most the final one. The in-memory index is updated only after the frame
+// reached the journal.
+func (s *Store) Put(rec Record) error {
+	frame, err := encodeFrame(&rec)
+	if err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		s.errors.Add(1)
+		return errors.New("checkpoint: store is closed")
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		s.errors.Add(1)
+		return fmt.Errorf("checkpoint: append record: %w", err)
+	}
+	r := rec
+	s.recs[r.Key()] = &r
+	s.stores.Add(1)
+	return nil
+}
+
+// NoteError counts a store-related failure that happened outside the
+// store's own methods (e.g. a record that no longer decodes into the
+// caller's type), so session stats reflect every degraded interaction.
+func (s *Store) NoteError() { s.errors.Add(1) }
+
+// Len returns the number of distinct records in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Hash returns a content hash of the whole store that is independent of
+// record order (workers commit in completion order), so a resumed run and
+// an uninterrupted run over the same grid report the same hash.
+func (s *Store) Hash() string {
+	s.mu.Lock()
+	sums := make([][sha256.Size]byte, 0, len(s.recs))
+	for k, rec := range s.recs {
+		h := sha256.New()
+		h.Write(k[:])
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(rec.Attempts))
+		h.Write(n[:])
+		binary.LittleEndian.PutUint64(n[:], uint64(len(rec.Value)))
+		h.Write(n[:])
+		h.Write(rec.Value)
+		h.Write(rec.Metrics)
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		sums = append(sums, sum)
+	}
+	s.mu.Unlock()
+	sort.Slice(sums, func(i, j int) bool { return bytes.Compare(sums[i][:], sums[j][:]) < 0 })
+	h := sha256.New()
+	for _, sum := range sums {
+		h.Write(sum[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Each calls fn for every record, sorted by (experiment, label) so
+// inspection output is deterministic regardless of commit order.
+func (s *Store) Each(fn func(*Record)) {
+	s.mu.Lock()
+	recs := make([]*Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Experiment != recs[j].Experiment {
+			return recs[i].Experiment < recs[j].Experiment
+		}
+		return recs[i].Label < recs[j].Label
+	})
+	for _, rec := range recs {
+		fn(rec)
+	}
+}
+
+// Stats returns the session's cache statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	records := len(s.recs)
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Stores:    s.stores.Load(),
+		Errors:    s.errors.Load(),
+		Records:   records,
+		Resumed:   s.resumed,
+		TornBytes: s.tornBytes,
+	}
+}
+
+// Close releases the journal handle. Further Puts fail; Lookups keep
+// serving the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// SchemaOf renders a canonical structural description of a Go type: field
+// names and types for structs (exported fields only — gob encodes nothing
+// else), element types for slices, arrays, maps and pointers, and the kind
+// for basic types. Two types with the same SchemaOf string are
+// gob-compatible field for field, so the string is safe to bake into a
+// cell's content address: renaming, adding or retyping a result field
+// changes the schema and silently invalidates every stale cached value
+// instead of decoding it into the wrong shape.
+func SchemaOf(t reflect.Type) string {
+	var b strings.Builder
+	writeSchema(&b, t, 0)
+	return b.String()
+}
+
+// writeSchema is SchemaOf's recursion. depth caps pathological
+// self-referential types; the experiment result types are small value
+// structs, so the cap is never reached in practice.
+func writeSchema(b *strings.Builder, t reflect.Type, depth int) {
+	if depth > 16 {
+		b.WriteString("...")
+		return
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		b.WriteString("struct{")
+		first := true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			if !first {
+				b.WriteByte(';')
+			}
+			first = false
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			writeSchema(b, f.Type, depth+1)
+		}
+		b.WriteByte('}')
+	case reflect.Slice:
+		b.WriteString("[]")
+		writeSchema(b, t.Elem(), depth+1)
+	case reflect.Array:
+		fmt.Fprintf(b, "[%d]", t.Len())
+		writeSchema(b, t.Elem(), depth+1)
+	case reflect.Map:
+		b.WriteString("map[")
+		writeSchema(b, t.Key(), depth+1)
+		b.WriteByte(']')
+		writeSchema(b, t.Elem(), depth+1)
+	case reflect.Pointer:
+		b.WriteByte('*')
+		writeSchema(b, t.Elem(), depth+1)
+	default:
+		b.WriteString(t.Kind().String())
+	}
+}
+
+// EncodeValue gob-encodes one cell result. The encoding of a given value is
+// deterministic (gob writes field deltas and IEEE-754 bit patterns), which
+// is what makes the store hash stable across runs.
+func EncodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode value: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue decodes a stored cell result into the typed destination
+// pointer.
+func DecodeValue(data []byte, dst any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(dst); err != nil {
+		return fmt.Errorf("checkpoint: decode value: %w", err)
+	}
+	return nil
+}

@@ -44,7 +44,7 @@ func TestParallelRace(t *testing.T) {
 	const n, delta, rows = 48, 8, 2
 	run := func(workers int) [][]float64 {
 		return runSeedGrid(Options{Seeds: 8, Workers: workers}, rows,
-			func(row, seed int) float64 {
+			func(_ Options, row, seed int) float64 {
 				nw := uniformNetwork(n, delta, udwn.DefaultPHY(),
 					uint64(100*row+seed))
 				all, _, _ := localRun(nw, n, func(id int) sim.Protocol {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"udwn"
+	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
 	"udwn/internal/sim"
 	"udwn/internal/workload"
@@ -59,6 +60,19 @@ type Options struct {
 	// serialised by the grid, so implementations need no locking; they run
 	// on worker goroutines and must be fast.
 	Progress func(Progress)
+	// Checkpoint, when non-nil, attaches a content-addressed cell-result
+	// store: the grid consults it before scheduling each labelled cell
+	// (hits replay the stored value, metrics snapshot and attempt count
+	// instead of running the cell) and appends every freshly computed cell
+	// as it completes. Results and manifests are byte-identical with or
+	// without a store, and across any interrupt/resume pattern — see
+	// grid.go and internal/checkpoint. FAILED cells are never stored.
+	Checkpoint *checkpoint.Store
+	// abortAfterCells is a test-only crash hook: when positive, the grid
+	// panics with a gridAbort sentinel once that many cells have committed,
+	// simulating a run killed mid-sweep (the checkpoint store keeps what
+	// had finished). Zero disables the hook.
+	abortAfterCells int
 }
 
 // Progress is one live progress update of a grid run.

@@ -46,7 +46,7 @@ func Figure1Contention(o Options) fmt.Stringer {
 
 	// Rows are the two starting configurations; each cell traces one seed.
 	starts := []float64{0.5, 1 / (2 * float64(n))}
-	grid := runSeedGrid(o, len(starts), func(row, seed int) []float64 {
+	grid := runSeedGrid(o, len(starts), func(o Options, row, seed int) []float64 {
 		p0 := starts[row]
 		nw := uniformNetwork(n, delta, phy, uint64(1000+seed))
 		s, err := nw.NewSim(func(id int) sim.Protocol {

@@ -34,7 +34,7 @@ func Figure2LowerBound(o Options) fmt.Stringer {
 
 	// Rows are the flattened (n, mode) pairs, n-major, in plot-fill order.
 	modes := []string{"ntd", "none", "pc"}
-	grid := runSeedGrid(o, len(sizes)*len(modes), func(row, seed int) float64 {
+	grid := runSeedGrid(o, len(sizes)*len(modes), func(o Options, row, seed int) float64 {
 		n := sizes[row/len(modes)]
 		mode := modes[row%len(modes)]
 		prims := sim.CD | sim.ACK

@@ -52,7 +52,7 @@ func Figure3CDF(o Options) fmt.Stringer {
 			return baseline.NewFixedProb(delta, 1, int64(id))
 		}, udwn.SimOptions{Primitives: sim.FreeAck}},
 	}
-	grid := runSeedGrid(o, len(protos), func(row, seed int) []float64 {
+	grid := runSeedGrid(o, len(protos), func(o Options, row, seed int) []float64 {
 		nw := uniformNetwork(n, delta, phy, uint64(13000+seed))
 		opts := protos[row].opts
 		opts.Seed = uint64(seed + 1)

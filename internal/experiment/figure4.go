@@ -39,7 +39,7 @@ func Figure4Stabilisation(o Options) fmt.Stringer {
 	series := plot.NewSeries("max vicinity contention")
 
 	// A single row of seed cells; each traces one full burst schedule.
-	grid := runSeedGrid(o, 1, func(_, seed int) []float64 {
+	grid := runSeedGrid(o, 1, func(o Options, _, seed int) []float64 {
 		nw := uniformNetwork(n, delta, phy, uint64(15000+seed))
 		// Hot factory: every (re)join starts at p = 1/2.
 		s := mustSim(nw, func(id int) sim.Protocol {

@@ -1,14 +1,18 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"runtime/debug"
 	rtmetrics "runtime/metrics"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
 	"udwn/internal/trace"
 )
@@ -26,10 +30,11 @@ import (
 // therefore the rendered output) is byte-identical for every worker count.
 //
 // The purity contract for a Cell: construct every Network, Sim, driver and
-// tracker it uses inside the closure, and do not touch variables shared with
-// other cells. The sim stack holds no package-level mutable state (all
-// randomness flows through per-Sim rng.Sources; package vars are interface
-// assertions only), so cells built this way are data-race free by
+// tracker it uses inside the closure (using the Options the scheduler
+// passes in, not variables shared with other cells), and do not touch
+// state outside the closure. The sim stack holds no package-level mutable
+// state (all randomness flows through per-Sim rng.Sources; package vars are
+// interface assertions only), so cells built this way are data-race free by
 // construction. TestParallelRace and the -race tier-1 gate enforce this.
 //
 // The scheduler is self-healing: with Options.Report set, a panicking or
@@ -40,10 +45,27 @@ import (
 // rendered output marks degraded cells as explicit FAILED(...) lines.
 // Without a Report, Run keeps the historical behaviour: it panics with the
 // lowest failing cell index, so even failures are deterministic.
+//
+// With Options.Checkpoint set the scheduler is additionally resumable: the
+// purity of cells makes their results perfectly cacheable, so before
+// scheduling a labelled cell the grid consults the content-addressed store
+// (key: experiment id, grid label, and a schema string covering the result
+// type shape and the options that scale cell values). A hit replays the
+// stored result, the cell's metrics snapshot and its original attempt
+// count — through the same declaration-order merge slots a live run uses —
+// and a miss runs the cell and appends it to the store the moment it
+// completes, so an interrupted sweep loses at most the cells in flight.
+// To attribute per-cell metrics exactly (a prerequisite for replay), each
+// checkpointed attempt runs against a private registry that is merged into
+// the shared one only on success; FAILED cells are never stored, keeping
+// the self-healing retry path live across resumes.
 
 // Cell is one independent unit of an experiment grid: a closure returning
-// the typed measurements of a single (cell, seed) entry.
-type Cell[T any] func() T
+// the typed measurements of a single (cell, seed) entry. The scheduler
+// passes in the Options the cell must thread into its simulations (via
+// Options.sim) — under checkpointing they carry a private metrics registry
+// so the cell's instrumentation can be stored and replayed.
+type Cell[T any] func(o Options) T
 
 // Grid is an ordered collection of cells. The zero value is ready to use.
 type Grid[T any] struct {
@@ -52,10 +74,13 @@ type Grid[T any] struct {
 }
 
 // Add declares the next cell in merge order with no identity label.
+// Unlabelled cells are never checkpointed: the label is the cell's identity
+// in the store.
 func (g *Grid[T]) Add(c Cell[T]) { g.AddLabeled("", c) }
 
 // AddLabeled declares the next cell in merge order together with an
-// identity label (e.g. "row=1 seed=3") used to attribute failures.
+// identity label (e.g. "row=1 seed=3") used to attribute failures and to
+// address the cell's checkpoint record.
 func (g *Grid[T]) AddLabeled(label string, c Cell[T]) {
 	g.cells = append(g.cells, c)
 	g.labels = append(g.labels, label)
@@ -120,11 +145,15 @@ func (r *RunReport) add(f Failure) {
 
 // Failures returns the recorded failures sorted by (experiment, cell
 // index), so reporting is deterministic regardless of worker scheduling.
+// The sort is stable: when one report accumulates several runs of the same
+// experiment (retried sweeps, repeated ids on the command line), failures
+// sharing an (experiment, cell) identity keep their recording order instead
+// of flapping between renders.
 func (r *RunReport) Failures() []Failure {
 	r.mu.Lock()
 	out := append([]Failure(nil), r.failures...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Experiment != out[j].Experiment {
 			return out[i].Experiment < out[j].Experiment
 		}
@@ -145,13 +174,15 @@ func (r *RunReport) addTiming(ct metrics.CellTiming) {
 
 // Timings returns the per-cell cost records of every grid cell run under
 // this report, sorted by (experiment, cell index) so manifests are
-// deterministic regardless of worker scheduling. Wall-clock fields are
-// machine-dependent; everything else (identity, attempts, failed) is not.
+// deterministic regardless of worker scheduling; like Failures the sort is
+// stable so duplicate identities cannot reorder across runs. Wall-clock
+// fields are machine-dependent; everything else (identity, attempts,
+// failed) is not.
 func (r *RunReport) Timings() []metrics.CellTiming {
 	r.mu.Lock()
 	out := append([]metrics.CellTiming(nil), r.timings...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Experiment != out[j].Experiment {
 			return out[i].Experiment < out[j].Experiment
 		}
@@ -194,13 +225,51 @@ func firstLine(v any) string {
 	return s
 }
 
-// attempt runs cell i once. With no deadline it runs inline; with one, it
-// runs in a goroutine raced against a timer. A cell that overruns its
-// deadline is cancelled from the scheduler's point of view: the worker
-// stops waiting and moves on, and the abandoned goroutine parks its
-// eventual result in a buffered channel nobody reads, so a late completion
-// can never race the merged results.
-func (g *Grid[T]) attempt(i int, deadline time.Duration) (val T, fail *cellFail) {
+// gridAbort is the sentinel value the test-only crash hook panics with once
+// Options.abortAfterCells cells have committed. Tests recover it to
+// simulate a run killed mid-sweep without tearing down the process.
+type gridAbort struct{ committed int }
+
+func (a gridAbort) String() string {
+	return fmt.Sprintf("experiment: grid aborted by test hook after %d committed cell(s)", a.committed)
+}
+
+// cellCache binds a grid run to its checkpoint store: the store handle plus
+// the schema string that — together with the experiment id and each cell's
+// label — forms the content address of every record this run reads or
+// writes.
+type cellCache struct {
+	store  *checkpoint.Store
+	schema string
+}
+
+// newCellCache derives the run's cache binding. The schema string captures
+// everything besides (experiment, label) that determines a cell's value or
+// its stored instrumentation: the structural shape of T (stale shapes must
+// miss, not mis-decode), Quick (which rescales every cell), and whether
+// metrics — and the optional index counters — are being collected (which
+// changes what a record's snapshot must replay).
+func newCellCache[T any](o Options) *cellCache {
+	if o.Checkpoint == nil {
+		return nil
+	}
+	schema := fmt.Sprintf("v1|quick=%t|metrics=%t|idx=%t|%s",
+		o.Quick, o.Metrics != nil, o.IndexMetrics,
+		checkpoint.SchemaOf(reflect.TypeOf((*T)(nil)).Elem()))
+	return &cellCache{store: o.Checkpoint, schema: schema}
+}
+
+func (c *cellCache) key(experiment, label string) checkpoint.Key {
+	return checkpoint.KeyOf(experiment, label, c.schema)
+}
+
+// attempt runs cell i once against co. With no deadline it runs inline;
+// with one, it runs in a goroutine raced against a timer. A cell that
+// overruns its deadline is cancelled from the scheduler's point of view:
+// the worker stops waiting and moves on, and the abandoned goroutine parks
+// its eventual result in a buffered channel nobody reads, so a late
+// completion can never race the merged results.
+func (g *Grid[T]) attempt(i int, co Options, deadline time.Duration) (val T, fail *cellFail) {
 	if deadline <= 0 {
 		func() {
 			defer func() {
@@ -208,7 +277,7 @@ func (g *Grid[T]) attempt(i int, deadline time.Duration) (val T, fail *cellFail)
 					fail = &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
 				}
 			}()
-			val = g.cells[i]()
+			val = g.cells[i](co)
 		}()
 		return val, fail
 	}
@@ -225,7 +294,7 @@ func (g *Grid[T]) attempt(i int, deadline time.Duration) (val T, fail *cellFail)
 				r.fail = &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
 			}
 		}()
-		r.val = g.cells[i]()
+		r.val = g.cells[i](co)
 	}()
 	t := time.NewTimer(deadline)
 	defer t.Stop()
@@ -259,8 +328,10 @@ func heapAllocBytes() int64 {
 // budget is exhausted, nil on success. With a Report or Metrics configured
 // the cell's total cost (wall clock across all attempts, heap allocation
 // delta when a registry is attached) is recorded as a CellTiming and into
-// the "grid/cell" timer.
-func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
+// the "grid/cell" timer. With cc non-nil a successful labelled cell is
+// appended to the checkpoint store together with its private metrics
+// snapshot and attempt count.
+func (g *Grid[T]) runCell(i int, o Options, cc *cellCache, out []T) *Failure {
 	instr := o.Metrics != nil
 	record := instr || o.Report != nil
 	var start time.Time
@@ -271,7 +342,7 @@ func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
 			alloc0 = heapAllocBytes()
 		}
 	}
-	f, attempts := g.runCellAttempts(i, o, out)
+	f, attempts, cellReg := g.runCellAttempts(i, o, cc, out)
 	if record {
 		wall := time.Since(start)
 		var allocs int64
@@ -292,25 +363,112 @@ func (g *Grid[T]) runCell(i int, o Options, out []T) *Failure {
 			})
 		}
 	}
+	if f == nil && cc != nil && g.labels[i] != "" {
+		g.storeCell(i, o, cc, cellReg, attempts, out)
+	}
 	return f
 }
 
+// storeCell appends cell i's freshly computed result to the checkpoint
+// store. Storage failures are counted in the store's session stats and
+// otherwise ignored: the run already holds the correct value, the cell is
+// simply not cached.
+func (g *Grid[T]) storeCell(i int, o Options, cc *cellCache, cellReg *metrics.Registry, attempts int, out []T) {
+	value, err := checkpoint.EncodeValue(&out[i])
+	if err != nil {
+		cc.store.NoteError()
+		return
+	}
+	var snap []byte
+	if cellReg != nil {
+		// Timing fields are zeroed so the stored bytes — and therefore the
+		// store's content hash — are a pure function of the cell's
+		// coordinates.
+		snap, err = json.Marshal(cellReg.Snapshot().ZeroTimings())
+		if err != nil {
+			cc.store.NoteError()
+			return
+		}
+	}
+	// Put's error path already counted the failure; nothing else to do.
+	_ = cc.store.Put(checkpoint.Record{
+		Experiment: o.Name,
+		Label:      g.labels[i],
+		Schema:     cc.schema,
+		Attempts:   attempts,
+		Value:      value,
+		Metrics:    snap,
+	})
+}
+
+// replayCell serves cell i from its checkpoint record: the stored value
+// lands in the cell's declaration-order slot, the stored metrics snapshot
+// merges into the run registry, and the bookkeeping a live run would emit —
+// "grid/cells", the "grid/cell" timer, the CellTiming with the cell's
+// original attempt count — is emitted identically, so a resumed run's
+// manifest matches an uninterrupted one byte for byte (modulo the timing
+// fields ZeroTimings clears). A decode failure reports false and the cell
+// runs fresh.
+func (g *Grid[T]) replayCell(i int, o Options, rec *checkpoint.Record, out []T) bool {
+	var val T
+	if err := checkpoint.DecodeValue(rec.Value, &val); err != nil {
+		o.Checkpoint.NoteError()
+		return false
+	}
+	if o.Metrics != nil && len(rec.Metrics) > 0 {
+		var snap metrics.Snapshot
+		if err := json.Unmarshal(rec.Metrics, &snap); err != nil {
+			o.Checkpoint.NoteError()
+			return false
+		}
+		o.Metrics.MergeSnapshot(&snap)
+	}
+	out[i] = val
+	if o.Metrics != nil {
+		o.Metrics.Counter("grid/cells").Inc()
+		o.Metrics.Timer("grid/cell").Observe(0, 0)
+	}
+	if o.Report != nil {
+		o.Report.addTiming(metrics.CellTiming{
+			Experiment: o.Name,
+			Cell:       i,
+			Label:      g.labels[i],
+			Attempts:   rec.Attempts,
+		})
+	}
+	return true
+}
+
 // runCellAttempts is runCell's retry loop, returning the final failure (nil
-// on success) and the number of attempts actually made.
-func (g *Grid[T]) runCellAttempts(i int, o Options, out []T) (*Failure, int) {
+// on success), the number of attempts actually made, and — under
+// checkpointing — the private registry the successful attempt recorded
+// into. Each checkpointed attempt gets a fresh registry merged into the
+// shared one only on success, so a panicking attempt's partial
+// instrumentation never leaks into the run totals or the store.
+func (g *Grid[T]) runCellAttempts(i int, o Options, cc *cellCache, out []T) (*Failure, int, *metrics.Registry) {
 	attempts := 1 + o.Retries
 	if attempts < 1 {
 		attempts = 1
 	}
+	isolate := cc != nil && o.Metrics != nil
 	var last *cellFail
 	for a := 1; a <= attempts; a++ {
-		val, fail := g.attempt(i, o.CellTimeout)
+		co := o
+		var cellReg *metrics.Registry
+		if isolate {
+			cellReg = metrics.NewRegistry()
+			co.Metrics = cellReg
+		}
+		val, fail := g.attempt(i, co, o.CellTimeout)
 		if fail == nil {
 			out[i] = val
+			if isolate {
+				o.Metrics.MergeSnapshot(cellReg.Snapshot())
+			}
 			if a > 1 && o.Report != nil {
 				o.Report.counters.Add("cell-recovered", 1)
 			}
-			return nil, a
+			return nil, a, cellReg
 		}
 		last = fail
 		if o.Report != nil {
@@ -331,7 +489,7 @@ func (g *Grid[T]) runCellAttempts(i int, o Options, out []T) (*Failure, int) {
 		Attempts:   attempts,
 		Reason:     last.reason,
 		Stack:      last.stack,
-	}, attempts
+	}, attempts, nil
 }
 
 // Run evaluates every cell on up to o.workers() concurrent workers and
@@ -344,6 +502,11 @@ func (g *Grid[T]) runCellAttempts(i int, o Options, out []T) (*Failure, int) {
 // Without it, a failing cell panics Run with the cell index and the
 // original message; when several cells fail, the lowest index wins, so
 // even failures are deterministic.
+//
+// With o.Checkpoint set, labelled cells already present in the store are
+// replayed instead of scheduled (see the file comment) and fresh results
+// are appended as they complete; the merged output is byte-identical
+// either way.
 func (g *Grid[T]) Run(o Options) []T {
 	out := make([]T, len(g.cells))
 	workers := o.workers()
@@ -351,6 +514,7 @@ func (g *Grid[T]) Run(o Options) []T {
 		workers = len(g.cells)
 	}
 	heal := o.Report != nil
+	cc := newCellCache[T](o)
 
 	// notify serialises Progress callbacks across workers and keeps the
 	// done/failed tallies; the callback itself never runs concurrently.
@@ -369,17 +533,46 @@ func (g *Grid[T]) Run(o Options) []T {
 		progMu.Unlock()
 	}
 
+	// committed implements the test-only crash hook: cells that completed —
+	// run, replayed, or recorded as FAILED — count toward the abort
+	// threshold, and crossing it makes Run panic with a gridAbort sentinel
+	// once in-flight cells have drained.
+	var committed atomic.Int64
+	abort := func() bool {
+		return o.abortAfterCells > 0 &&
+			committed.Add(1) >= int64(o.abortAfterCells)
+	}
+
+	// fromStore consults the checkpoint for cell i, replaying it into its
+	// merge slot on a hit.
+	fromStore := func(i int) bool {
+		if cc == nil || g.labels[i] == "" {
+			return false
+		}
+		rec, ok := cc.store.Lookup(cc.key(o.Name, g.labels[i]))
+		return ok && g.replayCell(i, o, rec, out)
+	}
+
 	if workers <= 1 {
 		for i := range g.cells {
-			f := g.runCell(i, o, out)
+			if fromStore(i) {
+				notify(false)
+				if abort() {
+					panic(gridAbort{committed: int(committed.Load())})
+				}
+				continue
+			}
+			f := g.runCell(i, o, cc, out)
 			notify(f != nil)
 			if f != nil {
-				if heal {
-					o.Report.add(*f)
-					continue
+				if !heal {
+					panic(fmt.Sprintf("experiment: grid cell %d: %s\n%s",
+						f.Cell, f.Reason, f.Stack))
 				}
-				panic(fmt.Sprintf("experiment: grid cell %d: %s\n%s",
-					f.Cell, f.Reason, f.Stack))
+				o.Report.add(*f)
+			}
+			if abort() {
+				panic(gridAbort{committed: int(committed.Load())})
 			}
 		}
 		return out
@@ -389,6 +582,7 @@ func (g *Grid[T]) Run(o Options) []T {
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		firstPan *Failure
+		aborted  atomic.Bool
 	)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -396,8 +590,11 @@ func (g *Grid[T]) Run(o Options) []T {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				f := g.runCell(i, o, out)
+				f := g.runCell(i, o, cc, out)
 				notify(f != nil)
+				if abort() {
+					aborted.Store(true)
+				}
 				if f == nil {
 					continue
 				}
@@ -414,6 +611,19 @@ func (g *Grid[T]) Run(o Options) []T {
 		}()
 	}
 	for i := range g.cells {
+		if aborted.Load() {
+			break
+		}
+		// Store hits are replayed on the dispatcher, serialising their
+		// registry merges and progress callbacks in declaration order;
+		// only genuine misses are fanned out.
+		if fromStore(i) {
+			notify(false)
+			if abort() {
+				aborted.Store(true)
+			}
+			continue
+		}
 		idx <- i
 	}
 	close(idx)
@@ -422,22 +632,27 @@ func (g *Grid[T]) Run(o Options) []T {
 		panic(fmt.Sprintf("experiment: grid cell %d: %s\n%s",
 			firstPan.Cell, firstPan.Reason, firstPan.Stack))
 	}
+	if aborted.Load() {
+		panic(gridAbort{committed: int(committed.Load())})
+	}
 	return out
 }
 
 // runSeedGrid is the common grid shape: rows × o.seeds() cells, where
-// fn(row, seed) computes one entry. Results come back as [row][seed], so
-// runners aggregate with the same row-major, seed-minor loops they always
-// used. Cells are labelled with their (row, seed) coordinates so failures
-// stay attributable.
-func runSeedGrid[T any](o Options, rows int, fn func(row, seed int) T) [][]T {
+// fn(o, row, seed) computes one entry with the scheduler-supplied Options
+// threaded into every simulation it builds. Results come back as
+// [row][seed], so runners aggregate with the same row-major, seed-minor
+// loops they always used. Cells are labelled with their (row, seed)
+// coordinates, which both attributes failures and addresses the cells'
+// checkpoint records.
+func runSeedGrid[T any](o Options, rows int, fn func(o Options, row, seed int) T) [][]T {
 	seeds := o.seeds()
 	var g Grid[T]
 	for row := 0; row < rows; row++ {
 		for seed := 0; seed < seeds; seed++ {
 			row, seed := row, seed
 			g.AddLabeled(fmt.Sprintf("row=%d seed=%d", row, seed),
-				func() T { return fn(row, seed) })
+				func(co Options) T { return fn(co, row, seed) })
 		}
 	}
 	flat := g.Run(o)

@@ -19,7 +19,7 @@ func TestGridCellsOverlap(t *testing.T) {
 	var started sync.WaitGroup
 	started.Add(workers)
 	for i := 0; i < workers; i++ {
-		g.Add(func() bool {
+		g.Add(func(Options) bool {
 			started.Done()
 			started.Wait()
 			return true
@@ -44,7 +44,7 @@ func TestGridPreservesDeclarationOrder(t *testing.T) {
 		var g Grid[int]
 		for i := 0; i < 100; i++ {
 			i := i
-			g.Add(func() int { return i * i })
+			g.Add(func(Options) int { return i * i })
 		}
 		got := g.Run(Options{Workers: workers})
 		if len(got) != 100 {
@@ -62,7 +62,7 @@ func TestGridRunsEveryCellExactlyOnce(t *testing.T) {
 	var calls atomic.Int64
 	var g Grid[struct{}]
 	for i := 0; i < 37; i++ {
-		g.Add(func() struct{} { calls.Add(1); return struct{}{} })
+		g.Add(func(Options) struct{} { calls.Add(1); return struct{}{} })
 	}
 	g.Run(Options{Workers: 8})
 	if n := calls.Load(); n != 37 {
@@ -75,7 +75,7 @@ func TestGridEmptyAndSingle(t *testing.T) {
 	if got := g.Run(Options{Workers: 8}); len(got) != 0 {
 		t.Fatalf("empty grid returned %v", got)
 	}
-	g.Add(func() int { return 7 })
+	g.Add(func(Options) int { return 7 })
 	if got := g.Run(Options{Workers: 8}); len(got) != 1 || got[0] != 7 {
 		t.Fatalf("single-cell grid returned %v", got)
 	}
@@ -88,7 +88,7 @@ func TestGridPanicPropagation(t *testing.T) {
 		var g Grid[int]
 		for i := 0; i < 16; i++ {
 			i := i
-			g.Add(func() int {
+			g.Add(func(Options) int {
 				if i == 3 || i == 12 {
 					panic("boom")
 				}
@@ -118,7 +118,7 @@ func TestGridHealsPanic(t *testing.T) {
 		var g Grid[int]
 		for i := 0; i < 16; i++ {
 			i := i
-			g.AddLabeled(fmt.Sprintf("row=%d seed=0", i), func() int {
+			g.AddLabeled(fmt.Sprintf("row=%d seed=0", i), func(Options) int {
 				if i == 3 {
 					panic("boom")
 				}
@@ -167,7 +167,7 @@ func TestGridDeadlineCancelsStuckCell(t *testing.T) {
 		var g Grid[int]
 		for i := 0; i < 8; i++ {
 			i := i
-			g.AddLabeled(fmt.Sprintf("row=%d seed=0", i), func() int {
+			g.AddLabeled(fmt.Sprintf("row=%d seed=0", i), func(Options) int {
 				if i == 5 {
 					<-release // stuck until the test ends
 					return -1
@@ -214,13 +214,13 @@ func TestGridDeadlineCancelsStuckCell(t *testing.T) {
 func TestGridRetryBudget(t *testing.T) {
 	var flakyCalls, brokenCalls atomic.Int64
 	var g Grid[int]
-	g.AddLabeled("flaky", func() int {
+	g.AddLabeled("flaky", func(Options) int {
 		if flakyCalls.Add(1) == 1 {
 			panic("transient")
 		}
 		return 7
 	})
-	g.AddLabeled("broken", func() int {
+	g.AddLabeled("broken", func(Options) int {
 		brokenCalls.Add(1)
 		panic("permanent")
 	})
@@ -251,7 +251,7 @@ func TestGridDeadlineWithoutReportPanics(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	var g Grid[int]
-	g.Add(func() int { <-release; return 0 })
+	g.Add(func(Options) int { <-release; return 0 })
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -265,9 +265,9 @@ func TestGridDeadlineWithoutReportPanics(t *testing.T) {
 }
 
 func TestRunSeedGridShape(t *testing.T) {
-	type pair struct{ row, seed int }
+	type pair struct{ Row, Seed int }
 	o := Options{Seeds: 3, Workers: 4}
-	got := runSeedGrid(o, 5, func(row, seed int) pair { return pair{row, seed} })
+	got := runSeedGrid(o, 5, func(_ Options, row, seed int) pair { return pair{row, seed} })
 	if len(got) != 5 {
 		t.Fatalf("got %d rows, want 5", len(got))
 	}
@@ -276,8 +276,8 @@ func TestRunSeedGridShape(t *testing.T) {
 			t.Fatalf("row %d has %d seeds, want 3", r, len(rowRes))
 		}
 		for s, p := range rowRes {
-			if p.row != r || p.seed != s {
-				t.Fatalf("cell (%d,%d) computed as (%d,%d)", r, s, p.row, p.seed)
+			if p.Row != r || p.Seed != s {
+				t.Fatalf("cell (%d,%d) computed as (%d,%d)", r, s, p.Row, p.Seed)
 			}
 		}
 	}

@@ -28,23 +28,23 @@ func Table1LocalDelta(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 1: local broadcast completion (ticks until every node mass-delivered), n=%d, %d seeds", n, o.seeds()),
 		"Δ", "LocalBcast", "Decay", "FixedProb(Δ)", "Decay/LB", "LB/Δ")
 
-	type cell struct{ lb, dec, fix float64 }
-	grid := runSeedGrid(o, len(deltas), func(row, seed int) cell {
+	type cell struct{ LB, Dec, Fix float64 }
+	grid := runSeedGrid(o, len(deltas), func(o Options, row, seed int) cell {
 		delta := deltas[row]
 		maxTicks := 400*delta + 200*n // generous cap; Decay needs Θ(Δ log n)
 		nw := uniformNetwork(n, delta, phy, uint64(100*delta+seed))
 		runSeed := uint64(seed + 1)
 
 		var c cell
-		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.LB, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 
-		c.dec, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.Dec, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return baseline.NewDecay(n, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}), maxTicks)
 
-		c.fix, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.Fix, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return baseline.NewFixedProb(delta, 1, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}), maxTicks)
 		return c
@@ -53,9 +53,9 @@ func Table1LocalDelta(o Options) fmt.Stringer {
 	for row, delta := range deltas {
 		var lb, dec, fix []float64
 		for _, c := range grid[row] {
-			lb = append(lb, c.lb)
-			dec = append(dec, c.dec)
-			fix = append(fix, c.fix)
+			lb = append(lb, c.LB)
+			dec = append(dec, c.Dec)
+			fix = append(fix, c.Fix)
 		}
 		mlb, mdec, mfix := stats.Mean(lb), stats.Mean(dec), stats.Mean(fix)
 		t.AddRowf(delta, mlb, mdec, mfix,

@@ -42,12 +42,12 @@ func Table10MultiChannel(o Options) fmt.Stringer {
 
 	// Rows are the flattened (Δ, channels) pairs, delta-major.
 	type result struct {
-		ticks   float64
-		mean    float64
-		hasMean bool
+		Ticks   float64
+		Mean    float64
+		HasMean bool
 	}
 	rows := len(deltas) * len(channelCounts)
-	grid := runSeedGrid(o, rows, func(row, seed int) result {
+	grid := runSeedGrid(o, rows, func(o Options, row, seed int) result {
 		delta := deltas[row/len(channelCounts)]
 		ch := channelCounts[row%len(channelCounts)]
 		nw := uniformNetwork(n, delta, phy, uint64(17000+100*delta+seed))
@@ -63,7 +63,7 @@ func Table10MultiChannel(o Options) fmt.Stringer {
 			}
 			return true
 		}, maxTicks)
-		r := result{ticks: float64(tk)}
+		r := result{Ticks: float64(tk)}
 		sum, cnt := 0.0, 0
 		for v := 0; v < n; v++ {
 			if c := s.FirstFullCoverage(v); c >= 0 {
@@ -72,7 +72,7 @@ func Table10MultiChannel(o Options) fmt.Stringer {
 			}
 		}
 		if cnt > 0 {
-			r.mean, r.hasMean = sum/float64(cnt), true
+			r.Mean, r.HasMean = sum/float64(cnt), true
 		}
 		return r
 	})
@@ -82,9 +82,9 @@ func Table10MultiChannel(o Options) fmt.Stringer {
 		for ci, ch := range channelCounts {
 			var ticks, means []float64
 			for _, r := range grid[di*len(channelCounts)+ci] {
-				ticks = append(ticks, r.ticks)
-				if r.hasMean {
-					means = append(means, r.mean)
+				ticks = append(ticks, r.Ticks)
+				if r.HasMean {
+					means = append(means, r.Mean)
 				}
 			}
 			m := stats.Mean(ticks)

@@ -52,10 +52,10 @@ func Table11StableDistance(o Options) fmt.Stringer {
 		"scenario", "stable-reached", "informed of reached", "mean tick/D_st", "p95 tick/D_st")
 
 	type result struct {
-		ratios                            []float64
-		reached, informedOfReached, nodes int
+		Ratios                            []float64
+		Reached, InformedOfReached, Nodes int
 	}
-	grid := runSeedGrid(o, len(scenarios), func(row, seed int) result {
+	grid := runSeedGrid(o, len(scenarios), func(o Options, row, seed int) result {
 		sc := scenarios[row]
 		side := workload.SideForDegree(n, delta, rb)
 		pts := workload.UniformDisc(n, side, uint64(19000+seed))
@@ -91,15 +91,15 @@ func Table11StableDistance(o Options) fmt.Stringer {
 		}
 		var r result
 		for v := 1; v < n; v++ {
-			r.nodes++
+			r.Nodes++
 			arr := tr.Arrival(v)
 			if arr <= 0 {
 				continue // no stable path: the theorem promises nothing
 			}
-			r.reached++
+			r.Reached++
 			if inf := s.FirstDecode(v); inf >= 0 {
-				r.informedOfReached++
-				r.ratios = append(r.ratios, float64(inf)/float64(arr))
+				r.InformedOfReached++
+				r.Ratios = append(r.Ratios, float64(inf)/float64(arr))
 			}
 		}
 		return r
@@ -109,10 +109,10 @@ func Table11StableDistance(o Options) fmt.Stringer {
 		var ratios []float64
 		reachedTotal, informedOfReached, nodeTotal := 0, 0, 0
 		for _, r := range grid[row] {
-			ratios = append(ratios, r.ratios...)
-			reachedTotal += r.reached
-			informedOfReached += r.informedOfReached
-			nodeTotal += r.nodes
+			ratios = append(ratios, r.Ratios...)
+			reachedTotal += r.Reached
+			informedOfReached += r.InformedOfReached
+			nodeTotal += r.Nodes
 		}
 		sum := stats.Summarize(ratios)
 		t.AddRowf(sc.name,

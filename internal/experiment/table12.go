@@ -56,11 +56,11 @@ func Table12Faults(o Options) fmt.Stringer {
 	}
 
 	type result struct {
-		localCov, localTicks float64
-		bcastCov, bcastTicks float64
-		events               float64
+		LocalCov, LocalTicks float64
+		BcastCov, BcastTicks float64
+		Events               float64
 	}
-	grid := runSeedGrid(o, len(scenarios), func(row, seed int) result {
+	grid := runSeedGrid(o, len(scenarios), func(o Options, row, seed int) result {
 		base := scenarios[row].spec
 		var r result
 
@@ -79,9 +79,9 @@ func Table12Faults(o Options) fmt.Stringer {
 			ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
 				return allDone(healthy, s.FirstMassDelivery)
 			}, maxTicks)
-			r.localCov = doneFraction(healthy, s.FirstMassDelivery)
-			r.localTicks = float64(ticks)
-			r.events = float64(eng.Counters().Total())
+			r.LocalCov = doneFraction(healthy, s.FirstMassDelivery)
+			r.LocalTicks = float64(ticks)
+			r.Events = float64(eng.Counters().Total())
 		}
 
 		// Global broadcast from a protected source: every healthy node
@@ -102,9 +102,9 @@ func Table12Faults(o Options) fmt.Stringer {
 			ticks, _ := s.RunUntil(func(s *sim.Sim) bool {
 				return allDone(healthy, s.FirstDecode)
 			}, maxTicks)
-			r.bcastCov = doneFraction(healthy, s.FirstDecode)
-			r.bcastTicks = float64(ticks)
-			r.events += float64(eng.Counters().Total())
+			r.BcastCov = doneFraction(healthy, s.FirstDecode)
+			r.BcastTicks = float64(ticks)
+			r.Events += float64(eng.Counters().Total())
 		}
 		return r
 	})
@@ -116,11 +116,11 @@ func Table12Faults(o Options) fmt.Stringer {
 	for row, sc := range scenarios {
 		var lc, lt, bc, bt, ev []float64
 		for _, r := range grid[row] {
-			lc = append(lc, r.localCov)
-			lt = append(lt, r.localTicks)
-			bc = append(bc, r.bcastCov)
-			bt = append(bt, r.bcastTicks)
-			ev = append(ev, r.events)
+			lc = append(lc, r.LocalCov)
+			lt = append(lt, r.LocalTicks)
+			bc = append(bc, r.BcastCov)
+			bt = append(bt, r.BcastTicks)
+			ev = append(ev, r.Events)
 		}
 		t.AddRowf(sc.name,
 			fmt.Sprintf("%.3f", stats.Mean(lc)), fmt.Sprintf("%.0f", stats.Mean(lt)),

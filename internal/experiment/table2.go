@@ -26,21 +26,21 @@ func Table2LocalN(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 2: local broadcast completion vs n (ticks, Δ≈%d, %d seeds)", delta, o.seeds()),
 		"n", "log2(n)", "LocalBcast", "Spontaneous(uniform)", "LB/log2(n)")
 
-	type cell struct{ lb, sp float64 }
-	grid := runSeedGrid(o, len(sizes), func(row, seed int) cell {
+	type cell struct{ LB, SP float64 }
+	grid := runSeedGrid(o, len(sizes), func(o Options, row, seed int) cell {
 		n := sizes[row]
 		maxTicks := 500*delta + 100*n
 		nw := uniformNetwork(n, delta, phy, uint64(10*n+seed))
 		runSeed := uint64(seed + 1)
 
 		var c cell
-		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.LB, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 
 		// The uniform variant starts at an arbitrary constant
 		// probability with no floor and never consults n.
-		c.sp, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.SP, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcastSpontaneous(0.25, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 		return c
@@ -49,8 +49,8 @@ func Table2LocalN(o Options) fmt.Stringer {
 	for row, n := range sizes {
 		var lb, sp []float64
 		for _, c := range grid[row] {
-			lb = append(lb, c.lb)
-			sp = append(sp, c.sp)
+			lb = append(lb, c.LB)
+			sp = append(sp, c.SP)
 		}
 		logN := math.Log2(float64(n))
 		mlb := stats.Mean(lb)

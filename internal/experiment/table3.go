@@ -34,16 +34,16 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		"n", "diam D", "Bcast*", "Spont(G.1)", "DecayFlood", "Bcast*/D", "Spont/D", "tx B*/Sp/DF")
 
 	type cell struct {
-		diam, bst, spt, dcy float64
-		bstTx, sptTx, dcyTx float64
+		Diam, Bst, Spt, Dcy float64
+		BstTx, SptTx, DcyTx float64
 	}
-	grid := runSeedGrid(o, len(lengths), func(row, seed int) cell {
+	grid := runSeedGrid(o, len(lengths), func(o Options, row, seed int) cell {
 		length := lengths[row]
 		n := int(length)
 		pts, diam := connectedStrip(n, length, rb, uint64(3000+7*int(length)+seed))
 		nw := udwn.NewSINRNetwork(pts, phy)
 		runSeed := uint64(seed + 1)
-		c := cell{diam: float64(diam)}
+		c := cell{Diam: float64(diam)}
 
 		// Bcast*: two slots, ε/2 precision primitives.
 		s := mustSim(nw, func(id int) sim.Protocol {
@@ -52,8 +52,8 @@ func Table3Broadcast(o Options) fmt.Stringer {
 			Primitives: sim.CD | sim.ACK | sim.NTD}))
 		s.MarkInformed(0)
 		ticks, _ := s.RunUntil(broadcastDone(n), 400000)
-		c.bst = float64(ticks) / 2
-		c.bstTx = float64(s.TotalTransmissions())
+		c.Bst = float64(ticks) / 2
+		c.BstTx = float64(s.TotalTransmissions())
 
 		// Spontaneous dominating-set broadcast.
 		ntd := nw.NTDThreshold(phy.Eps / 2)
@@ -72,8 +72,8 @@ func Table3Broadcast(o Options) fmt.Stringer {
 			}
 			return true
 		}, 400000)
-		c.spt = float64(ticks) / 2
-		c.sptTx = float64(s.TotalTransmissions())
+		c.Spt = float64(ticks) / 2
+		c.SptTx = float64(s.TotalTransmissions())
 
 		// Decay flooding: single slot, no carrier sense at all.
 		s = mustSim(nw, func(id int) sim.Protocol {
@@ -81,8 +81,8 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		}, o.sim(udwn.SimOptions{Seed: runSeed}))
 		s.MarkInformed(0)
 		ticks, _ = s.RunUntil(broadcastDone(n), 400000)
-		c.dcy = float64(ticks)
-		c.dcyTx = float64(s.TotalTransmissions())
+		c.Dcy = float64(ticks)
+		c.DcyTx = float64(s.TotalTransmissions())
 		return c
 	})
 
@@ -91,13 +91,13 @@ func Table3Broadcast(o Options) fmt.Stringer {
 		var bst, spt, dcy, diams []float64
 		var bstTx, sptTx, dcyTx []float64
 		for _, c := range grid[row] {
-			diams = append(diams, c.diam)
-			bst = append(bst, c.bst)
-			bstTx = append(bstTx, c.bstTx)
-			spt = append(spt, c.spt)
-			sptTx = append(sptTx, c.sptTx)
-			dcy = append(dcy, c.dcy)
-			dcyTx = append(dcyTx, c.dcyTx)
+			diams = append(diams, c.Diam)
+			bst = append(bst, c.Bst)
+			bstTx = append(bstTx, c.BstTx)
+			spt = append(spt, c.Spt)
+			sptTx = append(sptTx, c.SptTx)
+			dcy = append(dcy, c.Dcy)
+			dcyTx = append(dcyTx, c.DcyTx)
 		}
 		d := stats.Mean(diams)
 		mb, ms := stats.Mean(bst), stats.Mean(spt)

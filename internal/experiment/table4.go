@@ -81,10 +81,10 @@ func Table4Dynamics(o Options) fmt.Stringer {
 
 	rb := (1 - phy.Eps) * phy.Range
 	type victimResult struct {
-		deg  float64
-		tick float64 // -1 when the victim never completed
+		Deg  float64
+		Tick float64 // -1 when the victim never completed
 	}
-	grid := runSeedGrid(o, len(scenarios), func(row, seed int) []victimResult {
+	grid := runSeedGrid(o, len(scenarios), func(o Options, row, seed int) []victimResult {
 		sc := scenarios[row]
 		nw := uniformNetwork(n, delta, phy, uint64(7000+seed))
 		s := mustSim(nw, func(id int) sim.Protocol {
@@ -113,9 +113,9 @@ func Table4Dynamics(o Options) fmt.Stringer {
 		}
 		out := make([]victimResult, len(victims))
 		for i, v := range victims {
-			out[i] = victimResult{deg: float64(trackers[i].Degree()), tick: -1}
+			out[i] = victimResult{Deg: float64(trackers[i].Degree()), Tick: -1}
 			if tk := s.FirstMassDelivery(v); tk >= 0 {
-				out[i].tick = float64(tk)
+				out[i].Tick = float64(tk)
 			}
 		}
 		return out
@@ -127,10 +127,10 @@ func Table4Dynamics(o Options) fmt.Stringer {
 		for _, cellVictims := range grid[row] {
 			for _, vr := range cellVictims {
 				total++
-				dynDeg = append(dynDeg, vr.deg)
-				if vr.tick >= 0 {
+				dynDeg = append(dynDeg, vr.Deg)
+				if vr.Tick >= 0 {
 					done++
-					ticksDone = append(ticksDone, vr.tick)
+					ticksDone = append(ticksDone, vr.Tick)
 				}
 			}
 		}

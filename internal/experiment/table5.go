@@ -62,10 +62,10 @@ func Table5CrossModel(o Options) fmt.Stringer {
 	}
 
 	type result struct {
-		deg, ticks float64
-		done       bool
+		Deg, Ticks float64
+		Done       bool
 	}
-	grid := runSeedGrid(o, len(cells), func(row, seed int) result {
+	grid := runSeedGrid(o, len(cells), func(o Options, row, seed int) result {
 		nw := cells[row].mk(uint64(5000 + seed))
 		s := mustSim(nw, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
@@ -75,16 +75,16 @@ func Table5CrossModel(o Options) fmt.Stringer {
 			degSum += float64(s.NeighborCount(v))
 		}
 		all, _, done := localRunOn(s, n, 60000)
-		return result{deg: degSum / float64(n), ticks: all, done: done}
+		return result{Deg: degSum / float64(n), Ticks: all, Done: done}
 	})
 
 	for row, c := range cells {
 		var ticks, degs []float64
 		okAll := true
 		for _, r := range grid[row] {
-			degs = append(degs, r.deg)
-			ticks = append(ticks, r.ticks)
-			okAll = okAll && r.done
+			degs = append(degs, r.Deg)
+			ticks = append(ticks, r.Ticks)
+			okAll = okAll && r.Done
 		}
 		mt, md := stats.Mean(ticks), stats.Mean(degs)
 		ratio := "-"

@@ -65,10 +65,10 @@ func Table6Ablations(o Options) fmt.Stringer {
 	}
 
 	type result struct {
-		all, mean float64
-		done      bool
+		All, Mean float64
+		Done      bool
 	}
-	grid := runSeedGrid(o, len(variants), func(row, seed int) result {
+	grid := runSeedGrid(o, len(variants), func(o Options, row, seed int) result {
 		v := variants[row]
 		tickCap := maxTicks
 		if v.maxTicks > 0 {
@@ -83,16 +83,16 @@ func Table6Ablations(o Options) fmt.Stringer {
 		all, mean, done := localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
 		}, opts, tickCap)
-		return result{all: all, mean: mean, done: done}
+		return result{All: all, Mean: mean, Done: done}
 	})
 
 	for row, v := range variants {
 		var alls, means []float64
 		okAll := true
 		for _, r := range grid[row] {
-			alls = append(alls, r.all)
-			means = append(means, r.mean)
-			okAll = okAll && r.done
+			alls = append(alls, r.All)
+			means = append(means, r.Mean)
+			okAll = okAll && r.Done
 		}
 		t.AddRowf(v.name, stats.Mean(alls), stats.Mean(means), fmt.Sprintf("%v", okAll))
 	}

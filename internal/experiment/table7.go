@@ -28,8 +28,8 @@ func Table7NoCS(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 7: the price of carrier sensing (LocalBcast vs probing CD, Δ≈%d, %d seeds)", delta, o.seeds()),
 		"n", "epoch len", "LocalBcast(CD)", "NoCS(probing)", "NoCS/LB", "ratio/epoch")
 
-	type cell struct{ lb, nocs float64 }
-	grid := runSeedGrid(o, len(sizes), func(row, seed int) cell {
+	type cell struct{ LB, NoCS float64 }
+	grid := runSeedGrid(o, len(sizes), func(o Options, row, seed int) cell {
 		n := sizes[row]
 		epoch := (int(math.Ceil(math.Log2(float64(n)))) + 1) * probes
 		maxTicks := 3000 * epoch
@@ -37,11 +37,11 @@ func Table7NoCS(o Options) fmt.Stringer {
 		runSeed := uint64(seed + 1)
 
 		var c cell
-		c.lb, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.LB, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewLocalBcast(n, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.CD | sim.ACK}), maxTicks)
 
-		c.nocs, _, _ = localRun(nw, n, func(id int) sim.Protocol {
+		c.NoCS, _, _ = localRun(nw, n, func(id int) sim.Protocol {
 			return core.NewNoCSLocalBcast(n, probes, int64(id))
 		}, o.sim(udwn.SimOptions{Seed: runSeed, Primitives: sim.FreeAck}), maxTicks)
 		return c
@@ -51,8 +51,8 @@ func Table7NoCS(o Options) fmt.Stringer {
 		epoch := (int(math.Ceil(math.Log2(float64(n)))) + 1) * probes
 		var lb, nocs []float64
 		for _, c := range grid[row] {
-			lb = append(lb, c.lb)
-			nocs = append(nocs, c.nocs)
+			lb = append(lb, c.LB)
+			nocs = append(nocs, c.NoCS)
 		}
 		ml, mn := stats.Mean(lb), stats.Mean(nocs)
 		t.AddRowf(n, epoch, ml, mn,

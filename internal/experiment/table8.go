@@ -48,11 +48,11 @@ func Table8Fading(o Options) fmt.Stringer {
 	}
 
 	type result struct {
-		cov    []float64 // coverage ticks of covered nodes, node order
-		total  int
-		atomic float64
+		Cov    []float64 // coverage ticks of covered nodes, node order
+		Total  int
+		Atomic float64
 	}
-	grid := runSeedGrid(o, len(channels), func(row, seed int) result {
+	grid := runSeedGrid(o, len(channels), func(o Options, row, seed int) result {
 		nw, tick := channels[row].mk(uint64(12000 + seed))
 		s := coverageSim(nw, n, uint64(seed+1), tick, o)
 		s.RunUntil(func(s *sim.Sim) bool {
@@ -63,10 +63,10 @@ func Table8Fading(o Options) fmt.Stringer {
 			}
 			return true
 		}, maxTicks)
-		r := result{total: n, atomic: float64(s.TotalMassDeliveries())}
+		r := result{Total: n, Atomic: float64(s.TotalMassDeliveries())}
 		for v := 0; v < n; v++ {
 			if tk := s.FirstFullCoverage(v); tk >= 0 {
-				r.cov = append(r.cov, float64(tk))
+				r.Cov = append(r.Cov, float64(tk))
 			}
 		}
 		return r
@@ -77,10 +77,10 @@ func Table8Fading(o Options) fmt.Stringer {
 		var atomic []float64
 		covered, total := 0, 0
 		for _, r := range grid[row] {
-			cov = append(cov, r.cov...)
-			covered += len(r.cov)
-			total += r.total
-			atomic = append(atomic, r.atomic)
+			cov = append(cov, r.Cov...)
+			covered += len(r.Cov)
+			total += r.Total
+			atomic = append(atomic, r.Atomic)
 		}
 		sum := stats.Summarize(cov)
 		t.AddRowf(ch.name, fmt.Sprintf("%d/%d", covered, total), sum.Mean, sum.P95,

@@ -29,7 +29,7 @@ func Table9MultiMessage(o Options) fmt.Stringer {
 		fmt.Sprintf("Table 9: k-message broadcast on a strip (n=%d, %d seeds)", n, o.seeds()),
 		"k", "rounds", "rounds/k", "rounds vs k=1")
 
-	grid := runSeedGrid(o, len(ks), func(row, seed int) float64 {
+	grid := runSeedGrid(o, len(ks), func(o Options, row, seed int) float64 {
 		k := ks[row]
 		pts, _ := connectedStrip(n, length, rb, uint64(14000+31*k+seed))
 		nw := udwn.NewSINRNetwork(pts, phy)

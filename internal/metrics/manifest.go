@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -50,6 +51,28 @@ type Manifest struct {
 	Cells []CellTiming `json:"cells,omitempty"`
 	// Failures lists the FAILED(...) markers of degraded cells.
 	Failures []string `json:"failures,omitempty"`
+	// Checkpoint records the run's interaction with a cell-result store,
+	// when one was attached.
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
+}
+
+// CheckpointInfo is the manifest's checkpoint section. StoreHash and
+// Records describe the store's *content* and are deterministic for a given
+// grid; the traffic fields (Hits, Misses, Stores, Errors, Resumed, Dir)
+// describe this run's *history* against the store — an interrupted-then-
+// resumed run necessarily reports different traffic than an uninterrupted
+// one even though it computed the identical science, so ZeroTimings clears
+// them alongside the wall clocks.
+type CheckpointInfo struct {
+	Dir       string `json:"dir,omitempty"`
+	Resumed   bool   `json:"resumed,omitempty"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Stores    int64  `json:"stores"`
+	Errors    int64  `json:"errors,omitempty"`
+	TornBytes int64  `json:"torn_bytes,omitempty"`
+	Records   int    `json:"records"`
+	StoreHash string `json:"store_hash"`
 }
 
 // NewManifest starts a manifest for the named tool, stamped with the build
@@ -68,9 +91,11 @@ func (m *Manifest) SetConfig(key string, value any) {
 	m.Config[key] = fmt.Sprint(value)
 }
 
-// ZeroTimings clears every machine-dependent field in place — start time,
-// wall clocks, allocation figures, and the version stamp (which varies by
-// checkout) — and returns the manifest, leaving only deterministic run
+// ZeroTimings clears every machine- and run-history-dependent field in
+// place — start time, wall clocks, allocation figures, the version stamp
+// (which varies by checkout), and the checkpoint section's cache-traffic
+// fields (which depend on how the run was interrupted, not on what it
+// computed) — and returns the manifest, leaving only deterministic run
 // content for byte-comparison in tests.
 func (m *Manifest) ZeroTimings() *Manifest {
 	m.Started = ""
@@ -82,6 +107,20 @@ func (m *Manifest) ZeroTimings() *Manifest {
 	for i := range m.Cells {
 		m.Cells[i].WallNs = 0
 		m.Cells[i].AllocBytes = 0
+	}
+	if m.Checkpoint != nil {
+		m.Checkpoint.Dir = ""
+		m.Checkpoint.Resumed = false
+		m.Checkpoint.Hits = 0
+		m.Checkpoint.Misses = 0
+		m.Checkpoint.Stores = 0
+		m.Checkpoint.Errors = 0
+		m.Checkpoint.TornBytes = 0
+	}
+	for k := range m.Counters {
+		if strings.HasPrefix(k, "checkpoint/") {
+			delete(m.Counters, k)
+		}
 	}
 	return m
 }

@@ -106,6 +106,39 @@ func (s *Snapshot) ZeroTimings() *Snapshot {
 	return s
 }
 
+// MergeSnapshot folds a snapshot's contents into the registry: counter
+// values and timer totals add, histogram buckets add count by count (the
+// histogram is declared with the snapshot's bounds when absent), and gauges
+// merge by maximum — the only commutative gauge combination, matching the
+// SetMax discipline concurrent writers must already follow. All updates
+// commute, so replaying per-cell snapshots from a checkpoint in any
+// completion order yields the same registry state as having run the cells.
+func (r *Registry) MergeSnapshot(s *Snapshot) {
+	for _, c := range s.Counters {
+		r.Counter(c.Name).Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.Gauge(g.Name).SetMax(g.Value)
+	}
+	for _, hs := range s.Histograms {
+		bounds := make([]float64, len(hs.Buckets))
+		for i, b := range hs.Buckets {
+			bounds[i] = b.LE
+		}
+		h := r.Histogram(hs.Name, bounds...)
+		for i, b := range hs.Buckets {
+			h.counts[i].Add(b.Count)
+		}
+		h.counts[len(h.bounds)].Add(hs.Over)
+	}
+	for _, ts := range s.Timers {
+		t := r.Timer(ts.Name)
+		t.count.Add(ts.Count)
+		t.ns.Add(ts.WallNs)
+		t.bytes.Add(ts.AllocBytes)
+	}
+}
+
 // String renders the snapshot as sorted text lines, one metric per line.
 func (s *Snapshot) String() string {
 	var b strings.Builder

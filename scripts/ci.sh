@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, vet, full test suite, then the same suite under the
 # race detector (the parallel experiment engine makes -race meaningful —
-# see internal/experiment/grid.go and TestParallelRace).
+# see internal/experiment/grid.go and TestParallelRace), plus short live
+# fuzzing of the journal decoder and the spatial index, and a statement
+# coverage gate over the packages whose tests are load-bearing.
 #
 # Every go test carries an explicit -timeout: a stuck grid cell or a hung
 # deadline test must fail the gate with a goroutine dump, not wedge CI at
 # the default 10-minute-per-package limit times the package count.
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [-update-coverage]
+#
+#   -update-coverage  remeasure the gated packages and rewrite
+#                     scripts/coverage_baseline.txt (floor = measured - 1.0,
+#                     absorbing scheduling-dependent branches) instead of
+#                     failing on a drop. Commit the result with the tests
+#                     that moved it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+update_coverage=0
+for arg in "$@"; do
+  case "$arg" in
+    -update-coverage) update_coverage=1 ;;
+    *) echo "usage: scripts/ci.sh [-update-coverage]" >&2; exit 2 ;;
+  esac
+done
 
 go build ./...
 go vet ./...
 go vet ./internal/metrics
 go test -timeout 10m ./...
-go test -race -timeout 15m ./...
+go test -race -timeout 20m ./...
 # The fault engine feeds the sim tick loop from grid workers; exercise that
 # seam under the race detector explicitly even when the suites above shard.
 go test -race -timeout 5m ./internal/faults
@@ -30,3 +46,67 @@ go test -short -timeout 5m -run 'Progress|Manifest|Metrics' ./internal/experimen
 # differential property tests under the race detector explicitly so a shard
 # of the suites above can never silently skip them.
 go test -race -timeout 10m -run 'TestGridScanEquivalence|TestGridParallelRunsAgree' ./internal/sim
+# The checkpoint store is written by every grid worker of a resumable sweep;
+# race the crash/resume differential harness explicitly (short mode: one
+# abort point per experiment, still all 16 experiments × both worker counts).
+go test -race -short -timeout 10m -run 'TestResumeByteIdentical|TestCheckpointParallelWriters' ./internal/experiment
+
+# Native fuzz targets, 10 seconds each: the journal frame decoder against
+# arbitrary bytes, and the grid index against its brute-force oracle. The
+# committed corpora under testdata/fuzz replay as plain tests in the suites
+# above; here they seed short live fuzzing so CI keeps probing new inputs.
+go test -timeout 5m -run '^$' -fuzz '^FuzzCheckpointDecode$' -fuzztime 10s ./internal/checkpoint
+go test -timeout 5m -run '^$' -fuzz '^FuzzGridWithin$' -fuzztime 10s ./internal/geom
+
+# Coverage gate: statement coverage of the gated packages must not drop
+# below the committed floors. Measured in -short mode so the numbers are
+# fast and scheduling-stable; regenerate with scripts/ci.sh -update-coverage.
+baseline=scripts/coverage_baseline.txt
+covdir=$(mktemp -d)
+trap 'rm -rf "$covdir"' EXIT
+declare -A measured
+for pkg in internal/experiment internal/checkpoint internal/sim; do
+  out=$(go test -short -timeout 10m -coverprofile="$covdir/$(basename "$pkg").cov" "./$pkg")
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' | tail -1)
+  if [ -z "$pct" ]; then
+    echo "coverage gate: could not parse coverage for $pkg" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  measured[$pkg]=$pct
+  echo "coverage: $pkg $pct%"
+done
+
+if [ "$update_coverage" = 1 ]; then
+  {
+    echo "# Statement-coverage floors (percent) for scripts/ci.sh."
+    echo "# Regenerate with: scripts/ci.sh -update-coverage"
+    echo "# Floor = measured - 1.0 to absorb scheduling-dependent branches."
+    for pkg in internal/experiment internal/checkpoint internal/sim; do
+      awk -v p="$pkg" -v m="${measured[$pkg]}" 'BEGIN{printf "%s %.1f\n", p, m-1.0}'
+    done
+  } > "$baseline"
+  echo "coverage gate: wrote $baseline"
+  cat "$baseline"
+else
+  if [ ! -f "$baseline" ]; then
+    echo "coverage gate: $baseline missing; run scripts/ci.sh -update-coverage" >&2
+    exit 1
+  fi
+  fail=0
+  while read -r pkg floor; do
+    case "$pkg" in \#*|"") continue ;; esac
+    got=${measured[$pkg]:-}
+    if [ -z "$got" ]; then
+      echo "coverage gate: $pkg in baseline but not measured" >&2
+      fail=1
+      continue
+    fi
+    if ! awk -v g="$got" -v f="$floor" 'BEGIN{exit !(g+0 >= f+0)}'; then
+      echo "coverage gate: $pkg coverage $got% fell below floor $floor%" >&2
+      fail=1
+    fi
+  done < "$baseline"
+  [ "$fail" = 0 ] || exit 1
+  echo "coverage gate: ok"
+fi
