@@ -53,6 +53,7 @@ type flags struct {
 	walk     float64
 	async    bool
 	trace    string
+	traceFmt string
 	svg      string
 
 	// Observability outputs (internal/metrics).
@@ -100,7 +101,8 @@ func parseFlags() flags {
 	flag.Float64Var(&f.churn, "churn", 0, "per-tick Poisson churn probability")
 	flag.Float64Var(&f.walk, "walk", 0, "random-walk step as a fraction of R per tick")
 	flag.BoolVar(&f.async, "async", false, "locally-synchronous clocks")
-	flag.StringVar(&f.trace, "trace", "", "write a JSONL slot trace to this file")
+	flag.StringVar(&f.trace, "trace", "", "write a slot trace to this file")
+	flag.StringVar(&f.traceFmt, "trace-format", "jsonl", "trace encoding: jsonl (reference, greppable) | binary (compact framed, for big runs)")
 	flag.StringVar(&f.svg, "svg", "", "render the outcome (completion-time heatmap) to this SVG file")
 	flag.StringVar(&f.manifest, "manifest", "", "write a JSON run manifest (config, metrics, counters) to this file")
 	flag.BoolVar(&f.indexMetrics, "index-metrics", false, "register the sim/index/* spatial-index work counters in the metric snapshot")
@@ -201,17 +203,24 @@ func run() error {
 		return errors.New("two-slot algorithms require synchronous rounds")
 	}
 
-	var rec *trace.JSONL
+	var rec trace.Writer
 	if f.trace != "" {
+		format, err := trace.ParseFormat(f.traceFmt)
+		if err != nil {
+			return err
+		}
 		out, err := os.Create(f.trace)
 		if err != nil {
 			return fmt.Errorf("trace file: %w", err)
 		}
 		defer out.Close()
-		rec = trace.NewJSONL(out)
+		if rec, err = trace.NewWriter(out, format); err != nil {
+			return err
+		}
+		opts.Observer = rec.Record
 	}
 
-	s, err := buildSim(nw, factory, opts, rec)
+	s, err := nw.NewSim(factory, opts)
 	if err != nil {
 		return err
 	}
@@ -283,7 +292,14 @@ func run() error {
 		if err := rec.Flush(); err != nil {
 			return err
 		}
-		fmt.Printf("  trace: %d events -> %s\n", rec.Events(), f.trace)
+		fmt.Printf("  trace: %d events (%s) -> %s\n", rec.Events(), f.traceFmt, f.trace)
+		// Surface the trace volume in the metric snapshot/manifest alongside
+		// the sim/* instrumentation.
+		reg.Counter("trace/events").Add(int64(rec.Events()))
+		if b, ok := rec.(*trace.Binary); ok {
+			reg.Counter("trace/frames").Add(b.Frames())
+			reg.Counter("trace/bytes").Add(b.BytesWritten())
+		}
 	}
 	if f.manifest != "" {
 		if err := writeManifest(f, reg, eng, s, ticks, done, time.Since(start)); err != nil {
@@ -314,6 +330,10 @@ func writeManifest(f flags, reg *metrics.Registry, eng *faults.Engine,
 	m.SetConfig("churn", f.churn)
 	m.SetConfig("walk", f.walk)
 	m.SetConfig("async", f.async)
+	if f.trace != "" {
+		m.SetConfig("trace", f.trace)
+		m.SetConfig("trace-format", f.traceFmt)
+	}
 	m.SetConfig("done", done)
 	m.SetConfig("ticks", ticks)
 	m.SetConfig("invalid-ops", s.InvalidOps())
@@ -324,36 +344,6 @@ func writeManifest(f flags, reg *metrics.Registry, eng *faults.Engine,
 		m.Counters = eng.Counters().Map()
 	}
 	return m.WriteFile(f.manifest)
-}
-
-// buildSim constructs the simulator, attaching the trace recorder through
-// the raw sim config when requested (the facade does not expose Observer).
-func buildSim(nw *udwn.Network, factory sim.ProtocolFactory, o udwn.SimOptions, rec *trace.JSONL) (*sim.Sim, error) {
-	if rec == nil {
-		return nw.NewSim(factory, o)
-	}
-	cfg := sim.Config{
-		Space:        nw.Space,
-		Model:        nw.Model,
-		P:            nw.PHY.Power(),
-		Zeta:         nw.PHY.Alpha,
-		Noise:        nw.PHY.Noise,
-		Eps:          nw.PHY.Eps,
-		SenseEps:     o.SenseEps,
-		Slots:        o.Slots,
-		Async:        o.Async,
-		Seed:         o.Seed,
-		Primitives:   o.Primitives,
-		Adversary:    o.Adversary,
-		Dynamic:      o.Dynamic,
-		BusyScale:    nw.PHY.BusyScale,
-		AckScale:     nw.PHY.AckScale,
-		Observer:     rec.Record,
-		Injector:     o.Injector,
-		Metrics:      o.Metrics,
-		IndexMetrics: o.IndexMetrics,
-	}
-	return sim.New(cfg, factory)
 }
 
 func buildPoints(f flags, rb float64) []geom.Point {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-quick] [-seeds N] [-workers N] [-progress] [-manifest out.json]
+//	            [-trace out.trace [-trace-format jsonl|binary]]
 //	            [-checkpoint DIR [-resume] [-cache-stats]] [id ...]
 //
 // With no ids, all experiments run in report order. Each experiment's
@@ -14,6 +15,12 @@
 // -manifest writes a machine-readable run record — config, version, metric
 // snapshot, per-cell timings, failures — as JSON. -cpuprofile and
 // -memprofile write pprof profiles of the run.
+//
+// -trace records every grid cell's slot events into one file; cells run
+// concurrently, so events interleave in completion order (aggregate
+// analytics via traceinfo are order-insensitive). -trace-format binary
+// selects the compact framed encoding of internal/trace for full-scale
+// regeneration runs.
 //
 // -checkpoint DIR attaches a content-addressed cell-result store (see
 // internal/checkpoint): every completed grid cell is journalled to
@@ -34,6 +41,7 @@ import (
 	"udwn/internal/checkpoint"
 	"udwn/internal/experiment"
 	"udwn/internal/metrics"
+	"udwn/internal/trace"
 )
 
 func main() {
@@ -45,6 +53,8 @@ func main() {
 	progress := flag.Bool("progress", false, "render live done/total cells and ETA on stderr")
 	indexMetrics := flag.Bool("index-metrics", false, "register the sim/index/* spatial-index work counters in the metric snapshot")
 	manifest := flag.String("manifest", "", "write a JSON run manifest (config, metrics, per-cell timings) to this file")
+	traceFile := flag.String("trace", "", "record every grid cell's slot events into one trace file (interleaved in completion order)")
+	traceFmt := flag.String("trace-format", "jsonl", "trace encoding: jsonl | binary (compact framed, for full-scale regeneration)")
 	checkpointDir := flag.String("checkpoint", "", "journal completed grid cells to a content-addressed store in this directory")
 	resume := flag.Bool("resume", false, "reuse the -checkpoint store, replaying completed cells instead of recomputing them")
 	cacheStats := flag.Bool("cache-stats", false, "print checkpoint hit/miss statistics on stderr after the run")
@@ -101,6 +111,26 @@ func main() {
 		ui := &progressUI{out: os.Stderr}
 		opts.Progress = ui.report
 	}
+	var rec trace.Writer
+	if *traceFile != "" {
+		format, err := trace.ParseFormat(*traceFmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		out, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace file:", err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if rec, err = trace.NewWriter(out, format); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		// Grid cells run on concurrent workers; serialize their events.
+		opts.Observer = trace.LockedObserver(rec)
+	}
 	if *checkpointDir != "" {
 		open := checkpoint.Create
 		if *resume {
@@ -136,6 +166,18 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		reg.Counter("trace/events").Add(int64(rec.Events()))
+		if b, ok := rec.(*trace.Binary); ok {
+			reg.Counter("trace/frames").Add(b.Frames())
+			reg.Counter("trace/bytes").Add(b.BytesWritten())
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%s) -> %s\n", rec.Events(), *traceFmt, *traceFile)
+	}
 	if *cacheStats {
 		st := opts.Checkpoint.Stats()
 		fmt.Fprintf(os.Stderr,

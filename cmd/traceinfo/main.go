@@ -1,26 +1,36 @@
-// Command traceinfo summarises a JSONL slot trace produced with
-// `dissem -trace`: channel utilisation over time, throughput, and the
-// busiest transmitters. With -counters it instead renders the trace's
-// aggregate sensing and decode counters in the metrics layer's format.
-// With -checkpoint DIR it inspects an experiment checkpoint store instead
-// of a trace: per-experiment record counts, journal health and the store's
-// content hash.
+// Command traceinfo is the streaming analytics tool over slot traces
+// produced with `dissem -trace` or `experiments -trace`, in either format
+// (JSONL or the compact framed binary of internal/trace — the format is
+// sniffed from the file's first bytes). It folds the trace through
+// trace.Analyzer one event at a time, so memory stays bounded by node and
+// bucket counts, never by trace length: per-node first-decode latency
+// percentiles, the contention distribution, a transmissions timeline,
+// fault-event correlation and the busiest transmitters.
+//
+// With -counters it instead renders the trace's aggregate sensing and
+// decode counters in the metrics layer's format. With -checkpoint DIR it
+// inspects an experiment checkpoint store instead of a trace: per-experiment
+// record counts, journal health and the store's content hash.
 //
 // Usage:
 //
-//	traceinfo [-buckets N] [-top K] [-counters] run.jsonl
+//	traceinfo [-buckets N] [-top K] [-counters] run.trace
 //	traceinfo -checkpoint DIR
+//
+// A binary trace with a torn tail (a run killed mid-write) is decoded up to
+// the longest valid frame prefix and the truncation is reported; a binary
+// trace written under a different event schema fails fast instead of
+// mis-decoding.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
 
 	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
-	"udwn/internal/sim"
 	"udwn/internal/trace"
 )
 
@@ -32,9 +42,9 @@ func main() {
 }
 
 func run() error {
-	buckets := flag.Int("buckets", 10, "number of time buckets in the utilisation profile")
-	top := flag.Int("top", 5, "how many of the busiest transmitters to list")
-	counters := flag.Bool("counters", false, "render aggregate sensing/decode counters instead of the profile")
+	buckets := flag.Int("buckets", 10, "number of time buckets in the transmissions timeline")
+	top := flag.Int("top", 5, "how many of the busiest transmitters to list (negative = none)")
+	counters := flag.Bool("counters", false, "render aggregate sensing/decode counters instead of the analytics report")
 	checkpointDir := flag.String("checkpoint", "", "inspect an experiment checkpoint store directory instead of a trace")
 	flag.Parse()
 	if *checkpointDir != "" {
@@ -44,26 +54,38 @@ func run() error {
 		return reportCheckpoint(os.Stdout, *checkpointDir)
 	}
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] [-counters] <trace.jsonl>")
+		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] [-counters] <trace file>")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	events, err := trace.ReadJSONL(f)
+	events, format, err := trace.Open(f)
 	if err != nil {
 		return err
 	}
-	if len(events) == 0 {
-		fmt.Println("empty trace")
-		return nil
-	}
 	if *counters {
-		reportCounters(os.Stdout, events)
-		return nil
+		return reportCounters(os.Stdout, events)
 	}
-	report(os.Stdout, events, *buckets, *top)
+	a := trace.NewAnalyzer()
+	a.Buckets = *buckets
+	a.Top = *top
+	for {
+		ev, err := events.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		a.Observe(ev)
+	}
+	fmt.Printf("format: %s\n", format)
+	if br, ok := events.(*trace.Reader); ok && br.Truncated() {
+		fmt.Printf("recovered: trace has a torn tail; decoded the longest valid prefix (%d events)\n", br.Decoded())
+	}
+	a.Report(os.Stdout)
 	return nil
 }
 
@@ -102,14 +124,21 @@ func reportCheckpoint(w *os.File, dir string) error {
 	return nil
 }
 
-// reportCounters aggregates the per-slot tallies of the trace into the same
+// reportCounters streams the per-slot tallies of the trace into the same
 // named counters the simulator's metrics registry records live (sim/tx,
 // sim/decodes, sensing outcomes), so a recorded trace can be summarised in
-// the format of a -manifest metric snapshot. The JSONL recorder skips
-// silent slots, so sim/slots counts *active* slots here, not total ticks.
-func reportCounters(w *os.File, events []sim.SlotEvent) {
+// the format of a -manifest metric snapshot. Recorders skip silent slots,
+// so sim/slots counts *active* slots here, not total ticks.
+func reportCounters(w *os.File, events trace.EventReader) error {
 	c := metrics.NewCounters()
-	for _, ev := range events {
+	for {
+		ev, err := events.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
 		c.Add("sim/slots", 1)
 		c.Add("sim/tx", int64(len(ev.Transmitters)))
 		c.Add("sim/decodes", int64(ev.Decodes))
@@ -118,93 +147,10 @@ func reportCounters(w *os.File, events []sim.SlotEvent) {
 		c.Add("sim/cd_idle", int64(ev.CDIdle))
 		c.Add("sim/ack", int64(ev.Acks))
 		c.Add("sim/ntd", int64(ev.NTDs))
+		c.Add("sim/seized_tx", int64(ev.Seized))
 	}
 	for _, name := range c.Names() {
 		fmt.Fprintf(w, "counter %s = %d\n", name, c.Get(name))
 	}
-}
-
-func report(w *os.File, events []sim.SlotEvent, buckets, top int) {
-	lastTick := events[len(events)-1].Tick
-	span := lastTick + 1
-
-	totalTx, totalDecodes, totalMass := 0, 0, 0
-	txPerNode := map[int]int{}
-	massPerNode := map[int]int{}
-	for _, ev := range events {
-		totalTx += len(ev.Transmitters)
-		totalDecodes += ev.Decodes
-		totalMass += len(ev.MassDeliverers)
-		for _, u := range ev.Transmitters {
-			txPerNode[u]++
-		}
-		for _, u := range ev.MassDeliverers {
-			massPerNode[u]++
-		}
-	}
-	fmt.Fprintf(w, "trace: %d active slots over %d ticks\n", len(events), span)
-	fmt.Fprintf(w, "transmissions: %d (%.2f per tick)\n", totalTx, float64(totalTx)/float64(span))
-	fmt.Fprintf(w, "decodes:       %d (%.2f per transmission)\n", totalDecodes,
-		safeDiv(totalDecodes, totalTx))
-	fmt.Fprintf(w, "mass deliveries: %d (%.1f%% of transmissions)\n", totalMass,
-		100*safeDiv(totalMass, totalTx))
-
-	if buckets > 0 {
-		fmt.Fprintf(w, "\nutilisation profile (transmissions per tick, %d buckets):\n", buckets)
-		counts := make([]int, buckets)
-		width := (span + buckets - 1) / buckets
-		if width < 1 {
-			width = 1
-		}
-		for _, ev := range events {
-			b := ev.Tick / width
-			if b >= buckets {
-				b = buckets - 1
-			}
-			counts[b] += len(ev.Transmitters)
-		}
-		maxC := 1
-		for _, c := range counts {
-			if c > maxC {
-				maxC = c
-			}
-		}
-		for b, c := range counts {
-			bar := make([]byte, 0, 40)
-			for i := 0; i < 40*c/maxC; i++ {
-				bar = append(bar, '#')
-			}
-			fmt.Fprintf(w, "  [%5d-%5d) %6.2f %s\n", b*width, (b+1)*width,
-				float64(c)/float64(width), bar)
-		}
-	}
-
-	if top > 0 && len(txPerNode) > 0 {
-		type nodeCount struct{ node, tx, mass int }
-		var list []nodeCount
-		for u, c := range txPerNode {
-			list = append(list, nodeCount{u, c, massPerNode[u]})
-		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].tx != list[j].tx {
-				return list[i].tx > list[j].tx
-			}
-			return list[i].node < list[j].node
-		})
-		if top > len(list) {
-			top = len(list)
-		}
-		fmt.Fprintf(w, "\nbusiest transmitters:\n")
-		for _, nc := range list[:top] {
-			fmt.Fprintf(w, "  node %5d: %5d transmissions, %5d mass deliveries\n",
-				nc.node, nc.tx, nc.mass)
-		}
-	}
-}
-
-func safeDiv(a, b int) float64 {
-	if b == 0 {
-		return 0
-	}
-	return float64(a) / float64(b)
+	return nil
 }

@@ -55,6 +55,13 @@ type Options struct {
 	// the pinned snapshot goldens, and registering them only on request
 	// keeps those goldens stable.
 	IndexMetrics bool
+	// Observer, when non-nil, receives every simulator slot event of every
+	// grid cell (runners thread it through o.sim alongside Metrics). Cells
+	// run on concurrent worker goroutines, so callbacks may arrive
+	// interleaved and concurrently; wrap trace recorders with
+	// trace.LockedObserver. Events alias simulator scratch buffers and are
+	// only valid during the call.
+	Observer func(ev sim.SlotEvent)
 	// Progress, when non-nil, is invoked after every completed or failed
 	// grid cell with the grid's live done/total state. Callbacks are
 	// serialised by the grid, so implementations need no locking; they run
@@ -90,6 +97,7 @@ type Progress struct {
 func (o Options) sim(so udwn.SimOptions) udwn.SimOptions {
 	so.Metrics = o.Metrics
 	so.IndexMetrics = o.IndexMetrics
+	so.Observer = o.Observer
 	return so
 }
 

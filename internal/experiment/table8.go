@@ -105,6 +105,7 @@ func coverageSim(nw *udwn.Network, n int, seed uint64, tick *udwn.TickSource, o 
 		BusyScale:     nw.PHY.BusyScale,
 		AckScale:      nw.PHY.AckScale,
 		TrackCoverage: true,
+		Observer:      o.Observer,
 		Metrics:       o.Metrics,
 		IndexMetrics:  o.IndexMetrics,
 	}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"udwn/internal/sim"
+	"udwn/internal/trace"
+)
+
+// teeWriter fans one event stream into the JSONL and binary recorders, so a
+// single run produces both encodings of the identical sequence.
+type teeWriter struct {
+	a, b trace.Writer
+}
+
+func (t *teeWriter) Record(ev sim.SlotEvent) { t.a.Record(ev); t.b.Record(ev) }
+func (t *teeWriter) Events() int             { return t.a.Events() }
+func (t *teeWriter) Flush() error {
+	if err := t.a.Flush(); err != nil {
+		return err
+	}
+	return t.b.Flush()
+}
+
+// TestTraceDualFormatAllExperiments is the suite-level differential check of
+// the trace layer: every experiment's quick grid runs with an observer that
+// tees each slot event into a JSONL and a binary recorder, and the two
+// decodings must be event-identical after normalization — at Workers=1 and
+// on a concurrent grid (Workers=8, where cells interleave in completion
+// order through the locked observer). Across worker counts the *multiset*
+// of events must also agree, pinning that tracing does not perturb the
+// deterministic grid.
+func TestTraceDualFormatAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual-format suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var bySorted [][]byte
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					var jb, bb bytes.Buffer
+					jw := trace.NewJSONL(&jb)
+					bw := trace.NewBinary(&bb)
+					tee := &teeWriter{a: jw, b: bw}
+
+					o := QuickOptions()
+					o.Workers = workers
+					o.Observer = trace.LockedObserver(tee)
+					_ = e.Run(o)
+					if err := tee.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if jw.Events() == 0 {
+						t.Fatal("experiment emitted no slot events; the comparison is vacuous")
+					}
+
+					jev, _, err := trace.ReadEvents(bytes.NewReader(jb.Bytes()))
+					if err != nil {
+						t.Fatalf("jsonl decode: %v", err)
+					}
+					bev, _, err := trace.ReadEvents(bytes.NewReader(bb.Bytes()))
+					if err != nil {
+						t.Fatalf("binary decode: %v", err)
+					}
+					ja, _ := json.Marshal(trace.Canonicalize(jev))
+					ba, _ := json.Marshal(trace.Canonicalize(bev))
+					if !bytes.Equal(ja, ba) {
+						t.Fatalf("binary and JSONL decodings diverge (%d vs %d events)", len(jev), len(bev))
+					}
+
+					trace.SortEvents(bev)
+					sorted, _ := json.Marshal(bev)
+					bySorted = append(bySorted, sorted)
+				})
+			}
+			if len(bySorted) == 2 && !bytes.Equal(bySorted[0], bySorted[1]) {
+				t.Fatal("event multiset differs between Workers=1 and Workers=8")
+			}
+		})
+	}
+}

@@ -150,6 +150,14 @@ type SlotEvent struct {
 	Acks int `json:"acks,omitempty"`
 	// NTDs counts listeners that observed a near-transmission this slot.
 	NTDs int `json:"ntds,omitempty"`
+	// Decoders lists the nodes that decoded at least one message this slot,
+	// in ascending id order. Streaming analytics derive per-node latency
+	// (first-decode tick) from it without replaying the run.
+	Decoders []int `json:"decoders,omitempty"`
+	// Seized counts transmitters whose action was seized by the fault
+	// injector this slot (stuck/jamming carriers); zero in fault-free runs.
+	// Analytics correlate it with decode rates.
+	Seized int `json:"seized,omitempty"`
 }
 
 // Adversary resolves outcomes the model leaves unspecified. Implementations

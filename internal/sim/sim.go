@@ -196,6 +196,8 @@ type Sim struct {
 	msgBuf     []Message // message per transmitter id; valid where isTxBuf
 	isTxBuf    []bool    // transmitter membership this slot
 	nbrBuf     []int     // grid-backed forEachNeighbor scratch
+	massDelBuf []int     // SlotEvent.MassDeliverers scratch (observer runs only)
+	decodersBuf []int    // SlotEvent.Decoders scratch (observer runs only)
 	views      []slotView
 	obsBuf     Observation
 }

@@ -529,15 +529,27 @@ func (s *Sim) Step() {
 			}
 		}
 		if s.cfg.Observer != nil {
-			ev := SlotEvent{
-				Tick: s.tick, Slot: slot, Transmitters: s.txBuf,
-				Decodes: decodes,
-				CDBusy:  cdBusy, CDIdle: cdIdle, Acks: acks, NTDs: ntds,
-			}
+			s.massDelBuf = s.massDelBuf[:0]
+			seized := 0
 			for _, u := range s.txBuf {
 				if s.massBuf[u] {
-					ev.MassDeliverers = append(ev.MassDeliverers, u)
+					s.massDelBuf = append(s.massDelBuf, u)
 				}
+				if len(s.seizedBuf) > 0 && s.seizedBuf[u] {
+					seized++
+				}
+			}
+			s.decodersBuf = s.decodersBuf[:0]
+			for v := 0; v < s.n; v++ {
+				if len(s.recvBuf[v]) > 0 {
+					s.decodersBuf = append(s.decodersBuf, v)
+				}
+			}
+			ev := SlotEvent{
+				Tick: s.tick, Slot: slot, Transmitters: s.txBuf,
+				Decodes: decodes, MassDeliverers: s.massDelBuf,
+				CDBusy: cdBusy, CDIdle: cdIdle, Acks: acks, NTDs: ntds,
+				Decoders: s.decodersBuf, Seized: seized,
 			}
 			s.cfg.Observer(ev)
 		}

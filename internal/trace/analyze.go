@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"udwn/internal/sim"
+)
+
+// Analyzer is a streaming aggregator over a slot trace: feed it events one
+// at a time (Observe) and render the summary once (Report). Memory is
+// bounded by the number of distinct nodes, distinct contention levels and
+// the fixed timeline bucket budget — never by trace length — so it can
+// digest full-scale binary traces by the gigabyte. All aggregates are order
+// insensitive except the timeline, which only assumes non-negative ticks.
+type Analyzer struct {
+	// Buckets caps the timeline resolution (default 10). The bucket width
+	// doubles as the trace's tick span grows, keeping memory fixed.
+	Buckets int
+	// Top is how many of the busiest transmitters Report lists (default 5).
+	Top int
+
+	events                   int64
+	totalTx, totalDecodes    int64
+	totalMass, acks, ntds    int64
+	cdBusy, cdIdle           int64
+	minTick, maxTick         int
+	firstDecode              map[int]int // node → earliest tick with a decode
+	txPerNode, massPerNode   map[int]int64
+	contention               map[int]int64 // transmitters-per-active-slot histogram
+	seizedSlots              int64
+	seizedTx, seizedDecodes  int64
+	cleanTx, cleanDecodes    int64
+	timelineWidth            int
+	timelineTx, timelineSlot []int64
+}
+
+// NewAnalyzer returns an empty aggregator.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		Buckets:     10,
+		Top:         5,
+		minTick:     -1,
+		firstDecode: make(map[int]int),
+		txPerNode:   make(map[int]int64),
+		massPerNode: make(map[int]int64),
+		contention:  make(map[int]int64),
+	}
+}
+
+// Observe folds one event into the aggregates.
+func (a *Analyzer) Observe(ev sim.SlotEvent) {
+	a.events++
+	a.totalTx += int64(len(ev.Transmitters))
+	a.totalDecodes += int64(ev.Decodes)
+	a.totalMass += int64(len(ev.MassDeliverers))
+	a.acks += int64(ev.Acks)
+	a.ntds += int64(ev.NTDs)
+	a.cdBusy += int64(ev.CDBusy)
+	a.cdIdle += int64(ev.CDIdle)
+	if a.minTick < 0 || ev.Tick < a.minTick {
+		a.minTick = ev.Tick
+	}
+	if ev.Tick > a.maxTick {
+		a.maxTick = ev.Tick
+	}
+	for _, u := range ev.Transmitters {
+		a.txPerNode[u]++
+	}
+	for _, u := range ev.MassDeliverers {
+		a.massPerNode[u]++
+	}
+	for _, v := range ev.Decoders {
+		if t, seen := a.firstDecode[v]; !seen || ev.Tick < t {
+			a.firstDecode[v] = ev.Tick
+		}
+	}
+	a.contention[len(ev.Transmitters)]++
+	if ev.Seized > 0 {
+		a.seizedSlots++
+		a.seizedTx += int64(len(ev.Transmitters))
+		a.seizedDecodes += int64(ev.Decodes)
+	} else {
+		a.cleanTx += int64(len(ev.Transmitters))
+		a.cleanDecodes += int64(ev.Decodes)
+	}
+	a.observeTimeline(ev)
+}
+
+// observeTimeline folds the event into the fixed-budget timeline, doubling
+// the bucket width whenever the trace outgrows the current span.
+func (a *Analyzer) observeTimeline(ev sim.SlotEvent) {
+	buckets := a.buckets()
+	if a.timelineWidth == 0 {
+		a.timelineWidth = 1
+		a.timelineTx = make([]int64, buckets)
+		a.timelineSlot = make([]int64, buckets)
+	}
+	if ev.Tick < 0 {
+		return
+	}
+	for ev.Tick/a.timelineWidth >= buckets {
+		a.timelineWidth *= 2
+		for i := 0; i < buckets/2; i++ {
+			a.timelineTx[i] = a.timelineTx[2*i] + a.timelineTx[2*i+1]
+			a.timelineSlot[i] = a.timelineSlot[2*i] + a.timelineSlot[2*i+1]
+		}
+		for i := buckets / 2; i < buckets; i++ {
+			a.timelineTx[i], a.timelineSlot[i] = 0, 0
+		}
+	}
+	b := ev.Tick / a.timelineWidth
+	a.timelineTx[b] += int64(len(ev.Transmitters))
+	a.timelineSlot[b]++
+}
+
+func (a *Analyzer) buckets() int {
+	if a.Buckets < 2 {
+		return 10
+	}
+	// An even bucket count keeps the pairwise width-doubling merge exact.
+	return a.Buckets &^ 1
+}
+
+// Events returns the number of events observed.
+func (a *Analyzer) Events() int64 { return a.events }
+
+// Report renders the full analytics summary: totals, per-node first-decode
+// latency percentiles, the contention distribution, the tx timeline, fault
+// correlation and the busiest transmitters. Output is a deterministic
+// function of the observed event multiset (plus the timeline's tick span).
+func (a *Analyzer) Report(w io.Writer) {
+	if a.events == 0 {
+		fmt.Fprintln(w, "empty trace")
+		return
+	}
+	span := a.maxTick - a.minTick + 1
+	fmt.Fprintf(w, "trace: %d active slots over ticks [%d,%d]\n", a.events, a.minTick, a.maxTick)
+	fmt.Fprintf(w, "transmissions: %d (%.2f per tick)\n", a.totalTx, float64(a.totalTx)/float64(span))
+	fmt.Fprintf(w, "decodes:       %d (%.2f per transmission)\n", a.totalDecodes, ratio(a.totalDecodes, a.totalTx))
+	fmt.Fprintf(w, "mass deliveries: %d (%.1f%% of transmissions)\n", a.totalMass, 100*ratio(a.totalMass, a.totalTx))
+	if a.cdBusy+a.cdIdle+a.acks+a.ntds > 0 {
+		fmt.Fprintf(w, "sensing: cd-busy=%d cd-idle=%d acks=%d ntds=%d\n", a.cdBusy, a.cdIdle, a.acks, a.ntds)
+	}
+
+	if len(a.firstDecode) > 0 {
+		lat := make([]int, 0, len(a.firstDecode))
+		for _, t := range a.firstDecode {
+			lat = append(lat, t-a.minTick)
+		}
+		sort.Ints(lat)
+		fmt.Fprintf(w, "\nper-node first-decode latency (%d nodes, ticks since trace start):\n", len(lat))
+		fmt.Fprintf(w, "  p50=%d p90=%d p99=%d max=%d\n",
+			quantile(lat, 0.50), quantile(lat, 0.90), quantile(lat, 0.99), lat[len(lat)-1])
+	}
+
+	fmt.Fprintf(w, "\ncontention (transmitters per active slot):\n")
+	levels := make([]int, 0, len(a.contention))
+	for l := range a.contention {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	var cum, p50, p90, p99 int64
+	p50v, p90v, p99v, maxv := -1, -1, -1, levels[len(levels)-1]
+	p50, p90, p99 = (a.events+1)/2, (a.events*9+9)/10, (a.events*99+99)/100
+	for _, l := range levels {
+		cum += a.contention[l]
+		if p50v < 0 && cum >= p50 {
+			p50v = l
+		}
+		if p90v < 0 && cum >= p90 {
+			p90v = l
+		}
+		if p99v < 0 && cum >= p99 {
+			p99v = l
+		}
+	}
+	fmt.Fprintf(w, "  p50=%d p90=%d p99=%d max=%d\n", p50v, p90v, p99v, maxv)
+
+	if a.timelineWidth > 0 {
+		used := (a.maxTick / a.timelineWidth) + 1
+		fmt.Fprintf(w, "\ntimeline (transmissions per tick, %d buckets of %d ticks):\n", used, a.timelineWidth)
+		var maxC int64 = 1
+		for _, c := range a.timelineTx[:used] {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for b, c := range a.timelineTx[:used] {
+			bar := make([]byte, 40*c/maxC)
+			for i := range bar {
+				bar[i] = '#'
+			}
+			fmt.Fprintf(w, "  [%6d-%6d) %8.2f %s\n", b*a.timelineWidth, (b+1)*a.timelineWidth,
+				float64(c)/float64(a.timelineWidth), bar)
+		}
+	}
+
+	if a.seizedSlots > 0 {
+		fmt.Fprintf(w, "\nfault correlation (slots with injector-seized carriers):\n")
+		fmt.Fprintf(w, "  seized slots: %d of %d active (%.1f%%)\n",
+			a.seizedSlots, a.events, 100*ratio(a.seizedSlots, a.events))
+		fmt.Fprintf(w, "  decode rate:  %.3f per tx in seized slots vs %.3f in clean slots\n",
+			ratio(a.seizedDecodes, a.seizedTx), ratio(a.cleanDecodes, a.cleanTx))
+	} else {
+		fmt.Fprintf(w, "\nfault correlation: no injector-seized slots in trace\n")
+	}
+
+	top := a.Top
+	if top < 0 {
+		top = 0
+	} else if top == 0 {
+		top = 5
+	}
+	if top > 0 && len(a.txPerNode) > 0 {
+		type nodeCount struct {
+			node int
+			tx   int64
+		}
+		list := make([]nodeCount, 0, len(a.txPerNode))
+		for u, c := range a.txPerNode {
+			list = append(list, nodeCount{u, c})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].tx != list[j].tx {
+				return list[i].tx > list[j].tx
+			}
+			return list[i].node < list[j].node
+		})
+		if top > len(list) {
+			top = len(list)
+		}
+		fmt.Fprintf(w, "\nbusiest transmitters:\n")
+		for _, nc := range list[:top] {
+			fmt.Fprintf(w, "  node %5d: %5d transmissions, %5d mass deliveries\n",
+				nc.node, nc.tx, a.massPerNode[nc.node])
+		}
+	}
+}
+
+// quantile returns the q-th quantile of sorted values (nearest rank).
+func quantile(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"udwn/internal/sim"
+)
+
+// analyzeFixture is the deterministic event stream behind the golden report:
+// arbitrary valid events (seized slots, decoder lists and empty lists
+// included) plus a hand-placed head and tail pinning the tick span.
+func analyzeFixture() []sim.SlotEvent {
+	events := []sim.SlotEvent{
+		{Tick: 0, Transmitters: []int{3}, Decodes: 2, Decoders: []int{1, 2}, CDBusy: 1},
+	}
+	events = append(events, randomEvents(91, 400)...)
+	last := events[len(events)-1].Tick
+	events = append(events, sim.SlotEvent{
+		Tick: last + 20, Transmitters: []int{3, 7}, Decodes: 1,
+		Decoders: []int{9}, Seized: 1, Acks: 1,
+	})
+	return events
+}
+
+func renderReport(events []sim.SlotEvent, buckets, top int) string {
+	a := NewAnalyzer()
+	a.Buckets = buckets
+	a.Top = top
+	for _, ev := range events {
+		a.Observe(ev)
+	}
+	var out bytes.Buffer
+	a.Report(&out)
+	return out.String()
+}
+
+// TestAnalyzerGolden pins the full analytics report — totals, latency
+// percentiles, contention, timeline, fault correlation, busiest nodes — to a
+// golden file. Regenerate with `go test ./internal/trace -update`.
+func TestAnalyzerGolden(t *testing.T) {
+	got := renderReport(analyzeFixture(), 10, 3)
+	golden := filepath.Join("testdata", "analyze_report.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("report drifted from golden (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	for _, section := range []string{
+		"per-node first-decode latency",
+		"contention (transmitters per active slot)",
+		"timeline (transmissions per tick",
+		"fault correlation",
+		"busiest transmitters",
+	} {
+		if !strings.Contains(got, section) {
+			t.Fatalf("report misses the %q section", section)
+		}
+	}
+}
+
+// TestAnalyzerOrderInsensitive: the report is a function of the event
+// multiset, so grid traces (events interleaved in completion order) analyze
+// identically to sequential ones. Timeline width-doubling merges are exact,
+// so even the timeline must not depend on arrival order.
+func TestAnalyzerOrderInsensitive(t *testing.T) {
+	events := analyzeFixture()
+	forward := renderReport(events, 10, 3)
+	rev := make([]sim.SlotEvent, len(events))
+	for i, ev := range events {
+		rev[len(events)-1-i] = ev
+	}
+	if got := renderReport(rev, 10, 3); got != forward {
+		t.Fatal("report depends on event arrival order")
+	}
+}
+
+// TestAnalyzerEmpty: no events is reported, not a division by zero.
+func TestAnalyzerEmpty(t *testing.T) {
+	var out bytes.Buffer
+	NewAnalyzer().Report(&out)
+	if out.String() != "empty trace\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+// TestAnalyzerBoundedMemory: state is bounded by the node count and the
+// bucket budget, never by trace length. After warm-up over the full node
+// set, the steady-state Observe path must not allocate at all, and the
+// internal tables must stay at their structural sizes even after a long
+// trace with an enormous tick span.
+func TestAnalyzerBoundedMemory(t *testing.T) {
+	const nodes = 256
+	a := NewAnalyzer()
+	ev := sim.SlotEvent{
+		Transmitters:   make([]int, 4),
+		MassDeliverers: []int{0},
+		Decoders:       make([]int, 3),
+	}
+	fill := func(tick int) sim.SlotEvent {
+		for i := range ev.Transmitters {
+			ev.Transmitters[i] = (tick*7 + i) % nodes
+		}
+		ev.MassDeliverers[0] = tick % nodes
+		for i := range ev.Decoders {
+			ev.Decoders[i] = (tick*13 + i) % nodes
+		}
+		ev.Tick = tick
+		ev.Decodes = tick % 5
+		ev.Seized = tick % 2
+		return ev
+	}
+	tick := 0
+	for ; tick < 4*nodes; tick++ { // warm-up: every node and contention level seen
+		a.Observe(fill(tick))
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		a.Observe(fill(tick))
+		tick++
+	})
+	if avg > 0.01 {
+		t.Fatalf("steady-state Observe allocates %.2f times per event", avg)
+	}
+
+	// Stretch the tick span by 1000x: the timeline must adapt by widening
+	// its fixed buckets, not by growing.
+	for ; tick < 600_000; tick += 997 {
+		a.Observe(fill(tick))
+	}
+	if len(a.timelineTx) != a.buckets() || len(a.timelineSlot) != a.buckets() {
+		t.Fatalf("timeline grew to %d/%d buckets", len(a.timelineTx), len(a.timelineSlot))
+	}
+	if len(a.firstDecode) > nodes || len(a.txPerNode) > nodes || len(a.massPerNode) > nodes {
+		t.Fatalf("per-node tables exceed the node count: %d/%d/%d",
+			len(a.firstDecode), len(a.txPerNode), len(a.massPerNode))
+	}
+	if len(a.contention) > 5 {
+		t.Fatalf("contention histogram has %d levels for 1 distinct slot shape", len(a.contention))
+	}
+
+	var out bytes.Buffer
+	a.Report(&out)
+	if !strings.Contains(out.String(), "trace:") {
+		t.Fatal("report missing after long trace")
+	}
+}

@@ -1,0 +1,398 @@
+// Binary is the compact framed slot-trace format for full-scale runs. JSONL
+// tracing spends ~100 bytes and one encoding-reflection pass per event; the
+// binary format packs the same events as varints at a fraction of the size
+// and cost, which is what makes tracing million-node sweeps viable.
+//
+// File layout:
+//
+//	header:  magic "UTB1" | uint64 schema hash (LE)
+//	frame*:  magic "UTF1" | uint32 payload len | uint32 CRC-32C | payload
+//	payload: uvarint event count | count × packed events
+//
+// The framing discipline is the one proven in internal/checkpoint: each
+// frame is appended with a single Write call, so a crash (even SIGKILL)
+// tears at most the final frame, and the Reader recovers the longest valid
+// frame prefix — a torn or corrupt tail costs only the events it covered.
+// The schema hash is the digest of sim.SlotEvent's structural shape
+// (schema.go); a reader built against a different event layout fails fast
+// with *SchemaMismatchError instead of mis-decoding the varint stream.
+//
+// An event packs as uvarints in field declaration order: tick, slot,
+// transmitter count + ids, decodes, mass-deliverer count + ids, cd busy/idle,
+// acks, ntds, decoder count + ids, seized. All fields are non-negative by
+// construction.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"udwn/internal/sim"
+)
+
+var (
+	fileMagic  = [4]byte{'U', 'T', 'B', '1'}
+	frameMagic = [4]byte{'U', 'T', 'F', '1'}
+)
+
+const (
+	headerSize      = 4 + 8 // file magic + schema hash
+	frameHeaderSize = 4 + 4 + 4
+	// maxFramePayload bounds a frame's declared length so a corrupt or
+	// hostile length field cannot make the reader attempt a huge
+	// allocation. The writer flushes well below it; a single event would
+	// need millions of transmitters to approach it.
+	maxFramePayload = 16 << 20
+	// flushPayload is the writer's frame-cut threshold: a frame is emitted
+	// once its packed payload reaches this size (or on Flush), balancing
+	// framing overhead against how many events one torn tail can cost.
+	flushPayload = 64 << 10
+)
+
+// traceCRC is the Castagnoli polynomial, as in internal/checkpoint.
+var traceCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNotBinary reports a stream that does not start with the binary trace
+// magic (most likely a JSONL trace; use Open to auto-detect).
+var ErrNotBinary = errors.New("trace: not a binary trace (bad file magic)")
+
+// Binary streams simulator slot events in the framed varint format. Like
+// JSONL, silent slots (no transmissions and no decodes) are skipped unless
+// KeepSilent is set, and errors are sticky and reported by Flush.
+type Binary struct {
+	w          io.Writer
+	err        error
+	n          int
+	frames     int64
+	bytes      int64
+	headerDone bool
+	buf        []byte // packed events of the pending frame
+	count      int    // events packed in buf
+	scratch    []byte // frame assembly buffer, reused across flushes
+	KeepSilent bool
+}
+
+// NewBinary returns a recorder writing to w. Nothing reaches w until the
+// first frame cut (or Flush), so creating a recorder never fails.
+func NewBinary(w io.Writer) *Binary { return &Binary{w: w} }
+
+// Record packs one event into the pending frame; wire it to
+// sim.Config.Observer. The event's slices may alias simulator scratch — they
+// are consumed before Record returns.
+func (b *Binary) Record(ev sim.SlotEvent) {
+	if b.err != nil {
+		return
+	}
+	if !b.KeepSilent && len(ev.Transmitters) == 0 && ev.Decodes == 0 {
+		return
+	}
+	b.n++
+	b.count++
+	b.buf = appendEvent(b.buf, ev)
+	if len(b.buf) >= flushPayload {
+		b.flushFrame()
+	}
+}
+
+// Events returns the number of events recorded so far.
+func (b *Binary) Events() int { return b.n }
+
+// Frames returns the number of frames committed so far.
+func (b *Binary) Frames() int64 { return b.frames }
+
+// BytesWritten returns the total bytes handed to the underlying writer,
+// header included.
+func (b *Binary) BytesWritten() int64 { return b.bytes }
+
+// flushFrame commits the pending events as one frame with a single Write
+// (preceded, the first time, by the file header in the same Write), so a
+// crash can tear at most this frame.
+func (b *Binary) flushFrame() {
+	if b.err != nil || b.count == 0 {
+		return
+	}
+	out := b.scratch[:0]
+	if !b.headerDone {
+		out = append(out, fileMagic[:]...)
+		out = binary.LittleEndian.AppendUint64(out, SchemaHash())
+	}
+	payloadLen := uvarintLen(uint64(b.count)) + len(b.buf)
+	if payloadLen > maxFramePayload {
+		b.err = fmt.Errorf("trace: frame payload %d bytes exceeds limit %d", payloadLen, maxFramePayload)
+		return
+	}
+	out = append(out, frameMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(payloadLen))
+	payloadStart := len(out) + 4 // after the CRC word below
+	out = append(out, 0, 0, 0, 0)
+	out = binary.AppendUvarint(out, uint64(b.count))
+	out = append(out, b.buf...)
+	crc := crc32.Checksum(out[payloadStart:], traceCRC)
+	binary.LittleEndian.PutUint32(out[payloadStart-4:payloadStart], crc)
+
+	if _, err := b.w.Write(out); err != nil {
+		b.err = fmt.Errorf("trace: append frame: %w", err)
+		return
+	}
+	b.headerDone = true
+	b.frames++
+	b.bytes += int64(len(out))
+	b.scratch = out[:0]
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
+// Flush commits the pending frame (writing the file header even for an
+// empty trace) and returns the first error encountered.
+func (b *Binary) Flush() error {
+	if b.err == nil && !b.headerDone && b.count == 0 {
+		var hdr [headerSize]byte
+		copy(hdr[:], fileMagic[:])
+		binary.LittleEndian.PutUint64(hdr[4:], SchemaHash())
+		if _, err := b.w.Write(hdr[:]); err != nil {
+			b.err = fmt.Errorf("trace: write header: %w", err)
+		} else {
+			b.headerDone = true
+			b.bytes += headerSize
+		}
+	}
+	b.flushFrame()
+	if b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendEvent packs one event. Every field is non-negative by construction
+// (ids, counts, ticks), so plain uvarints suffice.
+func appendEvent(buf []byte, ev sim.SlotEvent) []byte {
+	buf = binary.AppendUvarint(buf, uint64(ev.Tick))
+	buf = binary.AppendUvarint(buf, uint64(ev.Slot))
+	buf = appendIDs(buf, ev.Transmitters)
+	buf = binary.AppendUvarint(buf, uint64(ev.Decodes))
+	buf = appendIDs(buf, ev.MassDeliverers)
+	buf = binary.AppendUvarint(buf, uint64(ev.CDBusy))
+	buf = binary.AppendUvarint(buf, uint64(ev.CDIdle))
+	buf = binary.AppendUvarint(buf, uint64(ev.Acks))
+	buf = binary.AppendUvarint(buf, uint64(ev.NTDs))
+	buf = appendIDs(buf, ev.Decoders)
+	buf = binary.AppendUvarint(buf, uint64(ev.Seized))
+	return buf
+}
+
+func appendIDs(buf []byte, ids []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
+// Reader streams events back out of a binary trace. It validates the header
+// eagerly (NewReader) and each frame's magic, length and CRC before
+// decoding, stopping at the first violation: Next then returns io.EOF and
+// Truncated reports whether anything was dropped. The longest valid frame
+// prefix is always recovered — a torn tail never poisons earlier frames and
+// never panics the reader.
+type Reader struct {
+	r         io.Reader
+	payload   []byte // current frame payload (after the event count)
+	pos       int
+	remaining int // events left in the current frame
+	decoded   int
+	truncated bool
+	done      bool
+}
+
+// NewReader opens a binary trace. It fails with ErrNotBinary on a wrong
+// file magic, *SchemaMismatchError on a schema hash from a different event
+// layout, and an io error when the stream ends inside the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], fileMagic[:]) {
+		return nil, ErrNotBinary
+	}
+	if got := binary.LittleEndian.Uint64(hdr[4:]); got != SchemaHash() {
+		return nil, &SchemaMismatchError{Got: got, Want: SchemaHash()}
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next returns the next event, or io.EOF at the end of the recoverable
+// prefix (clean end of trace or first torn/corrupt frame — see Truncated).
+func (r *Reader) Next() (sim.SlotEvent, error) {
+	for {
+		if r.done {
+			return sim.SlotEvent{}, io.EOF
+		}
+		if r.remaining > 0 {
+			ev, ok := r.decodeEvent()
+			if !ok {
+				// CRC passed but the payload does not parse: treat the whole
+				// stream position as lost, like any other corrupt frame.
+				r.stop(true)
+				return sim.SlotEvent{}, io.EOF
+			}
+			r.remaining--
+			r.decoded++
+			return ev, nil
+		}
+		if !r.nextFrame() {
+			return sim.SlotEvent{}, io.EOF
+		}
+	}
+}
+
+// Truncated reports whether the stream ended anywhere other than a clean
+// frame boundary: the events returned before io.EOF are the longest valid
+// prefix and at least one trailing frame was dropped.
+func (r *Reader) Truncated() bool { return r.truncated }
+
+// Decoded returns the number of events returned so far.
+func (r *Reader) Decoded() int { return r.decoded }
+
+func (r *Reader) stop(truncated bool) {
+	r.done = true
+	r.truncated = r.truncated || truncated
+	r.remaining = 0
+}
+
+// nextFrame loads and validates the next frame; false means end of stream
+// (clean or truncated — r.truncated distinguishes).
+func (r *Reader) nextFrame() bool {
+	var hdr [frameHeaderSize]byte
+	n, err := io.ReadFull(r.r, hdr[:])
+	if err == io.EOF && n == 0 {
+		r.stop(false)
+		return false
+	}
+	if err != nil {
+		r.stop(true)
+		return false
+	}
+	if !bytes.Equal(hdr[:4], frameMagic[:]) {
+		r.stop(true)
+		return false
+	}
+	plen := binary.LittleEndian.Uint32(hdr[4:8])
+	if plen == 0 || plen > maxFramePayload {
+		r.stop(true)
+		return false
+	}
+	if cap(r.payload) < int(plen) {
+		r.payload = make([]byte, plen)
+	}
+	payload := r.payload[:plen]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		r.stop(true)
+		return false
+	}
+	if crc32.Checksum(payload, traceCRC) != binary.LittleEndian.Uint32(hdr[8:12]) {
+		r.stop(true)
+		return false
+	}
+	count, n2 := binary.Uvarint(payload)
+	// Each packed event is at least 11 bytes of field varints, but 1 is a
+	// safe lower bound; an impossible count ends the valid prefix.
+	if n2 <= 0 || count > uint64(len(payload)-n2) {
+		r.stop(true)
+		return false
+	}
+	r.payload = payload
+	r.pos = n2
+	r.remaining = int(count)
+	return true
+}
+
+// decodeEvent unpacks one event from the current frame payload.
+func (r *Reader) decodeEvent() (sim.SlotEvent, bool) {
+	var ev sim.SlotEvent
+	var ok bool
+	if ev.Tick, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.Slot, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.Transmitters, ok = r.ids(); !ok {
+		return ev, false
+	}
+	if ev.Decodes, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.MassDeliverers, ok = r.ids(); !ok {
+		return ev, false
+	}
+	if ev.CDBusy, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.CDIdle, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.Acks, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.NTDs, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	if ev.Decoders, ok = r.ids(); !ok {
+		return ev, false
+	}
+	if ev.Seized, ok = r.uvarint(); !ok {
+		return ev, false
+	}
+	return ev, true
+}
+
+func (r *Reader) uvarint() (int, bool) {
+	v, n := binary.Uvarint(r.payload[r.pos:])
+	if n <= 0 || v > math.MaxInt64 {
+		return 0, false
+	}
+	r.pos += n
+	return int(v), true
+}
+
+// ids decodes a length-prefixed id list; a zero count yields nil, matching
+// the canonical (Canonicalize) representation.
+func (r *Reader) ids() ([]int, bool) {
+	count, n := binary.Uvarint(r.payload[r.pos:])
+	if n <= 0 {
+		return nil, false
+	}
+	r.pos += n
+	if count == 0 {
+		return nil, true
+	}
+	// Every id costs at least one payload byte, so an over-claimed count
+	// cannot force an over-allocation.
+	if count > uint64(len(r.payload)-r.pos) {
+		return nil, false
+	}
+	ids := make([]int, count)
+	for i := range ids {
+		v, ok := r.uvarint()
+		if !ok {
+			return nil, false
+		}
+		ids[i] = v
+	}
+	return ids, true
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"udwn/internal/sim"
+)
+
+// Format selects a slot-trace encoding.
+type Format string
+
+// Supported trace formats. JSONL is the reference implementation: one JSON
+// object per active slot, human-greppable. Binary is the compact framed
+// encoding for full-scale runs (see binary.go); the differential suite pins
+// both to decode into identical event streams.
+const (
+	FormatJSONL  Format = "jsonl"
+	FormatBinary Format = "binary"
+)
+
+// ParseFormat parses a -trace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatJSONL, FormatBinary:
+		return Format(s), nil
+	case "":
+		return FormatJSONL, nil
+	}
+	return "", fmt.Errorf("trace: unknown format %q (want %q or %q)", s, FormatJSONL, FormatBinary)
+}
+
+// Writer is the format-independent slot-event recorder: wire Record to
+// sim.Config.Observer (or udwn.SimOptions.Observer), then Flush once the run
+// ends. Implementations are not safe for concurrent use; serialize
+// multi-worker recording with LockedObserver.
+type Writer interface {
+	// Record writes one event. Errors are sticky and reported by Flush.
+	Record(ev sim.SlotEvent)
+	// Events returns the number of events recorded so far.
+	Events() int
+	// Flush drains buffered frames and returns the first error encountered.
+	Flush() error
+}
+
+var (
+	_ Writer = (*JSONL)(nil)
+	_ Writer = (*Binary)(nil)
+)
+
+// NewWriter returns a recorder for the given format writing to w.
+func NewWriter(w io.Writer, f Format) (Writer, error) {
+	switch f {
+	case FormatJSONL, "":
+		return NewJSONL(w), nil
+	case FormatBinary:
+		return NewBinary(w), nil
+	}
+	return nil, fmt.Errorf("trace: unknown format %q", f)
+}
+
+// LockedObserver serializes a recorder behind a mutex so it can be wired as
+// the observer of simulations running on concurrent grid workers. Events
+// from different cells interleave in completion order (nondeterministic
+// across runs); aggregate analytics and the sorted canonical stream are
+// unaffected.
+func LockedObserver(w Writer) func(sim.SlotEvent) {
+	var mu sync.Mutex
+	return func(ev sim.SlotEvent) {
+		mu.Lock()
+		w.Record(ev)
+		mu.Unlock()
+	}
+}
+
+// EventReader streams decoded slot events; Next returns io.EOF at the end
+// of the recoverable prefix.
+type EventReader interface {
+	Next() (sim.SlotEvent, error)
+}
+
+// Open sniffs the trace format from the stream's first bytes (the binary
+// file magic, else JSONL) and returns a streaming reader over it.
+func Open(r io.Reader) (EventReader, Format, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(fileMagic))
+	if err != nil && err != io.EOF {
+		return nil, "", fmt.Errorf("trace: sniff format: %w", err)
+	}
+	if bytes.Equal(head, fileMagic[:]) {
+		tr, err := NewReader(br)
+		if err != nil {
+			return nil, FormatBinary, err
+		}
+		return tr, FormatBinary, nil
+	}
+	return NewJSONLReader(br), FormatJSONL, nil
+}
+
+// ReadEvents decodes a whole trace of either format into memory (tests and
+// small inspections; streaming consumers should use Open directly).
+func ReadEvents(r io.Reader) ([]sim.SlotEvent, Format, error) {
+	er, f, err := Open(r)
+	if err != nil {
+		return nil, f, err
+	}
+	var events []sim.SlotEvent
+	for {
+		ev, err := er.Next()
+		if err == io.EOF {
+			return events, f, nil
+		}
+		if err != nil {
+			return events, f, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// Canonicalize normalizes decoded events in place for cross-format
+// comparison: empty slices become nil, so a JSONL decode (empty non-nil
+// slices) and a binary decode (nil) of the same run compare byte-for-byte
+// once re-serialized. Order is preserved.
+func Canonicalize(events []sim.SlotEvent) []sim.SlotEvent {
+	for i := range events {
+		if len(events[i].Transmitters) == 0 {
+			events[i].Transmitters = nil
+		}
+		if len(events[i].MassDeliverers) == 0 {
+			events[i].MassDeliverers = nil
+		}
+		if len(events[i].Decoders) == 0 {
+			events[i].Decoders = nil
+		}
+	}
+	return events
+}
+
+// SortEvents orders a canonicalized stream deterministically by full event
+// content. Traces recorded from concurrent grid cells interleave in
+// completion order; sorting yields a canonical form that is identical across
+// worker counts and formats because every cell is a pure function of its
+// seeds.
+func SortEvents(events []sim.SlotEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		return compareEvents(events[i], events[j]) < 0
+	})
+}
+
+func compareEvents(a, b sim.SlotEvent) int {
+	if a.Tick != b.Tick {
+		return a.Tick - b.Tick
+	}
+	if a.Slot != b.Slot {
+		return a.Slot - b.Slot
+	}
+	if c := compareInts(a.Transmitters, b.Transmitters); c != 0 {
+		return c
+	}
+	if a.Decodes != b.Decodes {
+		return a.Decodes - b.Decodes
+	}
+	if c := compareInts(a.MassDeliverers, b.MassDeliverers); c != 0 {
+		return c
+	}
+	if c := compareInts(a.Decoders, b.Decoders); c != 0 {
+		return c
+	}
+	if a.CDBusy != b.CDBusy {
+		return a.CDBusy - b.CDBusy
+	}
+	if a.CDIdle != b.CDIdle {
+		return a.CDIdle - b.CDIdle
+	}
+	if a.Acks != b.Acks {
+		return a.Acks - b.Acks
+	}
+	if a.NTDs != b.NTDs {
+		return a.NTDs - b.NTDs
+	}
+	return a.Seized - b.Seized
+}
+
+func compareInts(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] - b[i]
+		}
+	}
+	return len(a) - len(b)
+}

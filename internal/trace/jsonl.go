@@ -57,15 +57,40 @@ func (j *JSONL) Flush() error {
 // ReadJSONL parses a JSON Lines trace back into events.
 func ReadJSONL(r io.Reader) ([]sim.SlotEvent, error) {
 	var events []sim.SlotEvent
-	dec := json.NewDecoder(r)
+	jr := NewJSONLReader(r)
 	for {
-		var ev sim.SlotEvent
-		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				return events, nil
-			}
-			return events, fmt.Errorf("trace: decode event %d: %w", len(events), err)
+		ev, err := jr.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
 		}
 		events = append(events, ev)
 	}
+}
+
+// JSONLReader streams a JSON Lines trace one event at a time, so analytics
+// over multi-gigabyte traces never hold more than one event in memory.
+type JSONLReader struct {
+	dec *json.Decoder
+	n   int
+}
+
+// NewJSONLReader returns a streaming reader over r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next event, or io.EOF at the end of the trace.
+func (j *JSONLReader) Next() (sim.SlotEvent, error) {
+	var ev sim.SlotEvent
+	if err := j.dec.Decode(&ev); err != nil {
+		if err == io.EOF {
+			return ev, io.EOF
+		}
+		return ev, fmt.Errorf("trace: decode event %d: %w", j.n, err)
+	}
+	j.n++
+	return ev, nil
 }

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+
+	"udwn/internal/checkpoint"
+	"udwn/internal/sim"
+)
+
+// EventSchema is the canonical structural description of sim.SlotEvent —
+// field names and types rendered by checkpoint.SchemaOf, the same machinery
+// that keys the cell-result store. Renaming, adding, retyping or reordering
+// any event field changes this string.
+func EventSchema() string {
+	return "udwn/trace/binary|v1|" + checkpoint.SchemaOf(reflect.TypeOf(sim.SlotEvent{}))
+}
+
+// SchemaHash is the 64-bit digest of EventSchema baked into every binary
+// trace header. A reader built against a different event shape sees a
+// different hash and fails with *SchemaMismatchError instead of silently
+// mis-decoding varint streams into the wrong fields.
+func SchemaHash() uint64 {
+	sum := sha256.Sum256([]byte(EventSchema()))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// SchemaMismatchError reports a binary trace written under a different
+// slot-event schema than the reader was compiled with.
+type SchemaMismatchError struct {
+	// Got is the hash found in the trace header; Want is the reader's.
+	Got, Want uint64
+}
+
+func (e *SchemaMismatchError) Error() string {
+	return fmt.Sprintf("trace: binary trace schema hash %016x does not match reader schema %016x (trace written by a different event layout; regenerate it or decode with the matching build)",
+		e.Got, e.Want)
+}

@@ -10,7 +10,11 @@
 # (BenchmarkStepSparse4096Indexed / BenchmarkStepSparse4096Brute in
 # internal/sim): their ratio is the speedup of the grid-indexed slot loop
 # over the O(n·|tx|) scan on a sparse n=4096 deployment, and should stay
-# well above 3x.
+# well above 3x. It also includes the trace-format pair
+# (BenchmarkTraceWriteJSONL / BenchmarkTraceWriteBinary in
+# internal/trace, plus the Read pair): bytes/event is the on-disk cost of
+# each encoding on a dense trace and the binary format should stay ~3x
+# smaller and several times faster in both directions.
 #
 # Usage: scripts/bench.sh [out.json] [-- <go test packages...>]
 set -euo pipefail
@@ -26,7 +30,7 @@ if [[ $# -gt 0 && $1 == -- ]]; then
 fi
 pkgs=("$@")
 if [[ ${#pkgs[@]} -eq 0 ]]; then
-  pkgs=(./internal/sim ./internal/metrics)
+  pkgs=(./internal/sim ./internal/metrics ./internal/trace)
 fi
 
 version=$(git describe --always --dirty 2>/dev/null || echo unknown)

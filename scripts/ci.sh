@@ -50,6 +50,11 @@ go test -race -timeout 10m -run 'TestGridScanEquivalence|TestGridParallelRunsAgr
 # race the crash/resume differential harness explicitly (short mode: one
 # abort point per experiment, still all 16 experiments × both worker counts).
 go test -race -short -timeout 10m -run 'TestResumeByteIdentical|TestCheckpointParallelWriters' ./internal/experiment
+# The trace layer's locked observer serializes concurrent grid workers into
+# one writer; race the whole package plus the suite-level dual-format
+# differential test (all experiments, Workers 1 and 8) explicitly.
+go test -race -timeout 10m ./internal/trace
+go test -race -timeout 10m -run 'TestTraceDualFormatAllExperiments' ./internal/experiment
 
 # Native fuzz targets, 10 seconds each: the journal frame decoder against
 # arbitrary bytes, and the grid index against its brute-force oracle. The
@@ -57,6 +62,10 @@ go test -race -short -timeout 10m -run 'TestResumeByteIdentical|TestCheckpointPa
 # above; here they seed short live fuzzing so CI keeps probing new inputs.
 go test -timeout 5m -run '^$' -fuzz '^FuzzCheckpointDecode$' -fuzztime 10s ./internal/checkpoint
 go test -timeout 5m -run '^$' -fuzz '^FuzzGridWithin$' -fuzztime 10s ./internal/geom
+# The binary trace decoder fronts files from killed runs and foreign
+# builds; fuzz it against arbitrary bytes (never panic, bounded allocation,
+# accepted decodes must round-trip).
+go test -timeout 5m -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 10s ./internal/trace
 
 # Coverage gate: statement coverage of the gated packages must not drop
 # below the committed floors. Measured in -short mode so the numbers are
@@ -65,7 +74,7 @@ baseline=scripts/coverage_baseline.txt
 covdir=$(mktemp -d)
 trap 'rm -rf "$covdir"' EXIT
 declare -A measured
-for pkg in internal/experiment internal/checkpoint internal/sim; do
+for pkg in internal/experiment internal/checkpoint internal/sim internal/trace; do
   out=$(go test -short -timeout 10m -coverprofile="$covdir/$(basename "$pkg").cov" "./$pkg")
   pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' | tail -1)
   if [ -z "$pct" ]; then
@@ -82,7 +91,7 @@ if [ "$update_coverage" = 1 ]; then
     echo "# Statement-coverage floors (percent) for scripts/ci.sh."
     echo "# Regenerate with: scripts/ci.sh -update-coverage"
     echo "# Floor = measured - 1.0 to absorb scheduling-dependent branches."
-    for pkg in internal/experiment internal/checkpoint internal/sim; do
+    for pkg in internal/experiment internal/checkpoint internal/sim internal/trace; do
       awk -v p="$pkg" -v m="${measured[$pkg]}" 'BEGIN{printf "%s %.1f\n", p, m-1.0}'
     done
   } > "$baseline"

@@ -197,6 +197,11 @@ type SimOptions struct {
 	Channels int
 	// TrackCoverage enables cumulative coverage accounting.
 	TrackCoverage bool
+	// Observer, when non-nil, is invoked after every resolved slot with a
+	// summary event; wire a trace recorder's Record method here (see
+	// internal/trace). The event's slices alias simulator scratch buffers
+	// and are only valid during the call.
+	Observer func(ev sim.SlotEvent)
 	// Injector hooks deterministic fault injection into the tick loop
 	// (crash schedules, jammers, sensing corruption; see internal/faults).
 	Injector sim.Injector
@@ -230,6 +235,7 @@ func (nw *Network) NewSim(factory sim.ProtocolFactory, o SimOptions) (*sim.Sim, 
 		AckScale:      nw.PHY.AckScale,
 		Channels:      o.Channels,
 		TrackCoverage: o.TrackCoverage,
+		Observer:      o.Observer,
 		Injector:      o.Injector,
 		Metrics:       o.Metrics,
 		IndexMetrics:  o.IndexMetrics,
