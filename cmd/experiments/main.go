@@ -33,9 +33,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"udwn/internal/checkpoint"
@@ -107,6 +110,22 @@ func main() {
 	// instrumentation deterministically regardless of worker count.
 	reg := metrics.NewRegistry()
 	opts.Metrics = reg
+	// First SIGINT/SIGTERM: stop dispatching grid cells, let the in-flight
+	// ones finish (HardCancel stays false), flush what completed, and exit
+	// nonzero with an interrupted manifest. A second signal aborts at once.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\nexperiments: %s: finishing in-flight cells (signal again to abort)\n", sig)
+		cancelRun()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "experiments: second signal, aborting")
+		os.Exit(130)
+	}()
+	opts.Context = runCtx
 	if *progress {
 		ui := &progressUI{out: os.Stderr}
 		opts.Progress = ui.report
@@ -159,10 +178,17 @@ func main() {
 	}
 
 	suiteStart := time.Now()
+	interrupted := false
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		fmt.Println(e.Run(opts))
+		out, stopped := runExperiment(e, opts)
+		fmt.Println(out)
+		if stopped {
+			interrupted = true
+			fmt.Println()
+			break
+		}
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 
@@ -195,12 +221,20 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}
+	if interrupted && opts.Checkpoint != nil {
+		// Make the completed cells durable before reporting the interrupt;
+		// a -resume run replays them and computes only the rest.
+		if err := opts.Checkpoint.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}
 	if *manifest != "" {
 		ids := make([]string, len(selected))
 		for i, e := range selected {
 			ids[i] = e.ID
 		}
 		m := experiment.BuildManifest(ids, opts, report, time.Since(suiteStart))
+		m.Interrupted = interrupted
 		if err := m.WriteFile(*manifest); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -212,11 +246,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if interrupted {
+		msg := "experiments: interrupted; completed cells were flushed"
+		if *checkpointDir != "" {
+			msg += " (resume with -checkpoint " + *checkpointDir + " -resume)"
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
+	}
 	if failures := report.Failures(); len(failures) > 0 {
 		fmt.Printf("=== %d degraded cell(s) [%s] ===\n%s",
 			len(failures), report.Counters(), report)
 		os.Exit(2)
 	}
+}
+
+// runExperiment executes one experiment, converting the grid's Cancelled
+// unwind (raised when the signal context fires) into a printable marker and
+// an interrupted flag instead of a crash. Any other panic propagates.
+func runExperiment(e experiment.Experiment, o experiment.Options) (out string, interrupted bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			c, ok := p.(experiment.Cancelled)
+			if !ok {
+				panic(p)
+			}
+			out = c.String()
+			interrupted = true
+		}
+	}()
+	return e.Run(o).String(), false
 }
 
 // progressUI renders the grid's serialised Progress stream as a single

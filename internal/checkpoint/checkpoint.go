@@ -12,18 +12,17 @@
 // grid cell is a pure function of those coordinates, a key either misses or
 // hits a value that is bit-for-bit what re-running the cell would produce.
 //
-// Atomicity discipline. The store is a single append-only journal
-// (cells.journal). Each record is framed as
-//
-//	magic "UCP1" | uint32 payload length | uint32 CRC-32C | payload
-//
-// with the payload a self-contained gob encoding of the Record. Records
-// are appended under the store mutex with one Write call; a crash (even
-// SIGKILL) mid-append leaves at most one torn frame at the end of the file.
-// Resume recovery scans the journal front to back and truncates at the
-// first frame that fails validation — a torn or corrupt tail costs only the
-// cells it covered, never the records before it. There is no in-place
-// mutation anywhere, so no write can corrupt an already-committed record.
+// Atomicity discipline. The store is a single append-only Journal
+// (cells.journal; see journal.go for the generic framed container, which
+// the jobs daemon reuses for its job journal). Each record is one frame —
+// magic "UCP1" | uint32 payload length | uint32 CRC-32C | payload — whose
+// payload is a self-contained gob encoding of the Record, appended with one
+// Write call; a crash (even SIGKILL) mid-append leaves at most one torn
+// frame at the end of the file. Resume recovery scans the journal front to
+// back and truncates at the first frame that fails validation — a torn or
+// corrupt tail costs only the cells it covered, never the records before
+// it. There is no in-place mutation anywhere, so no write can corrupt an
+// already-committed record.
 //
 // FAILED grid cells are deliberately never stored: the self-healing retry
 // path in internal/experiment must re-run them fresh on resume rather than
@@ -106,10 +105,11 @@ type Stats struct {
 }
 
 // Store is the on-disk cell-result store. All methods are safe for
-// concurrent use by grid workers.
+// concurrent use by grid workers — one store may be shared by every job of
+// the daemon's pool, so identical cells across jobs are computed once.
 type Store struct {
 	mu   sync.Mutex
-	f    *os.File
+	j    *Journal
 	dir  string
 	recs map[Key]*Record
 
@@ -148,90 +148,45 @@ func open(dir string, resume bool) (*Store, error) {
 	path := filepath.Join(dir, journalName)
 	s := &Store{dir: dir, recs: make(map[Key]*Record), resumed: resume}
 	if !resume {
-		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		j, err := CreateJournal(path)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: create journal: %w", err)
+			return nil, err
 		}
-		s.f = f
+		s.j = j
 		return s, nil
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	// A payload that frames correctly but no longer gob-decodes ends the
+	// valid prefix exactly like a torn frame: the journal is truncated
+	// there and the cells it covered recompute.
+	j, err := ResumeJournal(path, func(payload []byte) bool {
+		var r Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+			return false
+		}
+		s.recs[r.Key()] = &r
+		return true
+	})
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
-	}
-	valid, err := recoverJournal(f, s.recs)
-	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	end, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("checkpoint: seek journal: %w", err)
-	}
-	if valid < end {
-		s.tornBytes = end - valid
-		if err := f.Truncate(valid); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("checkpoint: truncate torn tail: %w", err)
-		}
-		if _, err := f.Seek(valid, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("checkpoint: seek journal: %w", err)
-		}
-	}
-	s.f = f
+	s.tornBytes = j.TornBytes()
+	s.j = j
 	return s, nil
-}
-
-// recoverJournal scans the journal front to back, loading every record of
-// the longest valid prefix into recs, and returns the byte offset where
-// that prefix ends. It never fails on content: any framing, checksum or
-// decode violation simply ends the valid prefix (the caller truncates
-// there). Only I/O errors are returned.
-func recoverJournal(f *os.File, recs map[Key]*Record) (validEnd int64, err error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("checkpoint: seek journal: %w", err)
-	}
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return 0, fmt.Errorf("checkpoint: read journal: %w", err)
-	}
-	off := int64(0)
-	for {
-		rec, n, ok := decodeFrame(data[off:])
-		if !ok {
-			return off, nil
-		}
-		recs[rec.Key()] = rec
-		off += n
-	}
 }
 
 // decodeFrame parses one record frame from the front of data. ok=false
 // means data does not start with a complete valid frame (torn tail,
-// corruption, or simply empty).
+// corruption, or simply empty) or the framed payload is not a Record.
 func decodeFrame(data []byte) (rec *Record, n int64, ok bool) {
-	const header = 4 + 4 + 4 // magic + length + crc
-	if len(data) < header {
-		return nil, 0, false
-	}
-	if !bytes.Equal(data[:4], magic[:]) {
-		return nil, 0, false
-	}
-	plen := binary.LittleEndian.Uint32(data[4:8])
-	if plen == 0 || plen > maxPayload || int64(plen) > int64(len(data)-header) {
-		return nil, 0, false
-	}
-	payload := data[header : header+int(plen)]
-	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[8:12]) {
+	payload, n, ok := decodePayloadFrame(data)
+	if !ok {
 		return nil, 0, false
 	}
 	var r Record
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
 		return nil, 0, false
 	}
-	return &r, int64(header) + int64(plen), true
+	return &r, n, true
 }
 
 // encodeFrame renders one record as a self-contained journal frame.
@@ -240,15 +195,7 @@ func encodeFrame(rec *Record) ([]byte, error) {
 	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
 		return nil, fmt.Errorf("checkpoint: encode record: %w", err)
 	}
-	if payload.Len() > maxPayload {
-		return nil, fmt.Errorf("checkpoint: record payload %d bytes exceeds limit", payload.Len())
-	}
-	frame := make([]byte, 0, 12+payload.Len())
-	frame = append(frame, magic[:]...)
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(payload.Len()))
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), crcTable))
-	frame = append(frame, payload.Bytes()...)
-	return frame, nil
+	return encodePayloadFrame(payload.Bytes())
 }
 
 // Lookup returns the record stored under k, counting the outcome in the
@@ -265,30 +212,46 @@ func (s *Store) Lookup(k Key) (*Record, bool) {
 	return rec, ok
 }
 
-// Put commits one record: a single append under the store mutex, so
-// concurrent grid workers interleave whole frames and a crash can tear at
-// most the final one. The in-memory index is updated only after the frame
-// reached the journal.
+// Put commits one record: a single journal append, so concurrent grid
+// workers interleave whole frames and a crash can tear at most the final
+// one. The in-memory index is updated only after the frame reached the
+// journal.
 func (s *Store) Put(rec Record) error {
-	frame, err := encodeFrame(&rec)
-	if err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
 		s.errors.Add(1)
-		return err
+		return fmt.Errorf("checkpoint: encode record: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
+	j := s.j
+	s.mu.Unlock()
+	if j == nil {
 		s.errors.Add(1)
 		return errors.New("checkpoint: store is closed")
 	}
-	if _, err := s.f.Write(frame); err != nil {
+	if err := j.Append(payload.Bytes()); err != nil {
 		s.errors.Add(1)
 		return fmt.Errorf("checkpoint: append record: %w", err)
 	}
+	s.mu.Lock()
 	r := rec
 	s.recs[r.Key()] = &r
+	s.mu.Unlock()
 	s.stores.Add(1)
 	return nil
+}
+
+// Sync flushes every committed record to stable storage (fsync on the
+// journal). The daemon's drain path calls it before reporting a clean
+// shutdown; a no-op on a closed store.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	j := s.j
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Sync()
 }
 
 // NoteError counts a store-related failure that happened outside the
@@ -375,14 +338,11 @@ func (s *Store) Stats() Stats {
 // serving the in-memory index.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
+	j := s.j
+	s.j = nil
+	s.mu.Unlock()
+	if j == nil {
 		return nil
 	}
-	err := s.f.Close()
-	s.f = nil
-	if err != nil {
-		return fmt.Errorf("checkpoint: close journal: %w", err)
-	}
-	return nil
+	return j.Close()
 }

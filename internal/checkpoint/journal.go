@@ -1,0 +1,179 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is a generic append-only journal of framed byte payloads — the
+// torn-write-safe container underneath the cell-result store, exported so
+// other crash-safe state (the jobs daemon's job journal, see internal/jobs)
+// shares one tested atomicity discipline instead of reinventing it.
+//
+// Each payload is framed as
+//
+//	magic "UCP1" | uint32 payload length | uint32 CRC-32C | payload
+//
+// and appended with a single Write under the journal mutex, so concurrent
+// appenders interleave whole frames and a crash — even SIGKILL — tears at
+// most the final frame. ResumeJournal scans front to back and truncates at
+// the first frame that fails validation: a torn or corrupt tail costs only
+// the frames it covered, never the ones before it. There is no in-place
+// mutation anywhere.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	resumed bool
+	torn    int64
+}
+
+// CreateJournal opens a fresh journal at path, discarding any existing one.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// ResumeJournal opens the journal at path (creating an empty one when
+// missing) and recovers its longest valid prefix: every frame that parses —
+// intact magic, in-bounds length, matching checksum — is passed to accept
+// in append order. A frame that fails to parse, or that accept rejects,
+// ends the prefix; everything from it on is truncated away, so a second
+// resume sees a clean journal. A nil accept accepts every parsed frame.
+//
+// The payload slice passed to accept is only valid during the call.
+func ResumeJournal(path string, accept func(payload []byte) bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: read journal: %w", err)
+	}
+	valid := int64(0)
+	for {
+		payload, n, ok := decodePayloadFrame(data[valid:])
+		if !ok || (accept != nil && !accept(payload)) {
+			break
+		}
+		valid += n
+	}
+	j := &Journal{f: f, path: path, resumed: true}
+	if end := int64(len(data)); valid < end {
+		j.torn = end - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// Append commits one payload as a self-contained frame with a single Write.
+func (j *Journal) Append(payload []byte) error {
+	frame, err := encodePayloadFrame(payload)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append frame: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes appended frames to stable storage (fsync). Drain paths call
+// it before reporting a clean shutdown.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Resumed reports whether the journal was opened by ResumeJournal.
+func (j *Journal) Resumed() bool { return j.resumed }
+
+// TornBytes returns the length of the invalid tail recovery dropped (0 for
+// a journal that was clean or freshly created).
+func (j *Journal) TornBytes() int64 { return j.torn }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file handle; further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close journal: %w", err)
+	}
+	return nil
+}
+
+// encodePayloadFrame renders one payload as a self-contained journal frame.
+func encodePayloadFrame(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("checkpoint: empty journal payload")
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("checkpoint: journal payload %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, 0, 12+len(payload))
+	frame = append(frame, magic[:]...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+	return frame, nil
+}
+
+// decodePayloadFrame parses one frame from the front of data. ok=false
+// means data does not start with a complete valid frame (torn tail,
+// corruption, or simply empty). The returned payload aliases data.
+func decodePayloadFrame(data []byte) (payload []byte, n int64, ok bool) {
+	const header = 4 + 4 + 4 // magic + length + crc
+	if len(data) < header {
+		return nil, 0, false
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data[4:8])
+	if plen == 0 || plen > maxPayload || int64(plen) > int64(len(data)-header) {
+		return nil, 0, false
+	}
+	payload = data[header : header+int(plen)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[8:12]) {
+		return nil, 0, false
+	}
+	return payload, int64(header) + int64(plen), true
+}

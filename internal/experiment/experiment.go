@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -75,6 +76,21 @@ type Options struct {
 	// without a store, and across any interrupt/resume pattern — see
 	// grid.go and internal/checkpoint. FAILED cells are never stored.
 	Checkpoint *checkpoint.Store
+	// Context, when non-nil, scopes the whole grid run: once it is
+	// cancelled the scheduler stops dispatching new cells, lets (or, with
+	// HardCancel, stops) the cells already in flight, and then panics with
+	// a Cancelled sentinel carrying the done/total progress at the moment
+	// of interruption. Completed cells keep their checkpoint records, so a
+	// cancelled checkpointed run resumes with no recomputation of finished
+	// work. Nil keeps the historical run-to-completion behaviour.
+	Context context.Context
+	// HardCancel additionally threads Context into every cell, so a
+	// cancelled run stops in-flight simulations at their next tick instead
+	// of letting them run to completion. Interrupted cells produce no
+	// result and are not checkpointed; they rerun on resume. The daemon's
+	// job deadlines and post-grace drain use this; cmd/experiments'
+	// SIGINT path leaves it false so in-flight cells finish and commit.
+	HardCancel bool
 	// abortAfterCells is a test-only crash hook: when positive, the grid
 	// panics with a gridAbort sentinel once that many cells have committed,
 	// simulating a run killed mid-sweep (the checkpoint store keeps what
@@ -98,6 +114,20 @@ func (o Options) sim(so udwn.SimOptions) udwn.SimOptions {
 	so.Metrics = o.Metrics
 	so.IndexMetrics = o.IndexMetrics
 	so.Observer = o.Observer
+	if o.Context != nil {
+		ctx := o.Context
+		// One non-blocking poll per tick; the sim panics sim.Cancelled when
+		// it fires and the grid's attempt recover maps that back to a
+		// cancellation outcome, so the cell's goroutine really terminates.
+		so.Cancel = func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		}
+	}
 	return so
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -14,6 +15,7 @@ import (
 
 	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
+	"udwn/internal/sim"
 	"udwn/internal/trace"
 )
 
@@ -105,6 +107,10 @@ type Failure struct {
 	// for timeouts. It is kept out of rendered output (stacks are not
 	// byte-stable) but available for debugging.
 	Stack string
+	// cancelled marks a cell stopped by run-level cancellation
+	// (Options.Context): it is neither recorded as FAILED nor retried —
+	// Run raises a Cancelled panic once in-flight cells have drained.
+	cancelled bool
 }
 
 // String renders the failure as the explicit marker experiment output
@@ -213,6 +219,33 @@ type cellFail struct {
 	reason  string
 	stack   string
 	timeout bool
+	// cancelled marks an attempt that ended on a sim.Cancelled panic: the
+	// cell's context fired and the simulation stopped cooperatively. The
+	// retry loop maps it to a deadline failure when the cell's own timeout
+	// caused it, and to a run-level cancellation when Options.Context did.
+	cancelled bool
+}
+
+// Cancelled is the panic value Grid.Run raises when Options.Context is
+// cancelled mid-run: dispatch has stopped, in-flight cells have drained
+// (finished normally, or stopped at their next tick under HardCancel), and
+// every completed cell has committed to the checkpoint store when one is
+// attached. Callers that installed the context recover it — cmd/experiments
+// to write an interrupted manifest, the jobs daemon to park or fail the job.
+type Cancelled struct {
+	// Experiment is the interrupted run's id ("" outside the registry).
+	Experiment string
+	// Done counts cells that completed (including FAILED ones) before the
+	// run stopped; Total is the grid size.
+	Done, Total int
+}
+
+func (c Cancelled) String() string {
+	exp := c.Experiment
+	if exp == "" {
+		exp = "grid"
+	}
+	return fmt.Sprintf("experiment: %s cancelled after %d/%d cells", exp, c.Done, c.Total)
 }
 
 // firstLine flattens a panic value to its first line for deterministic
@@ -263,18 +296,31 @@ func (c *cellCache) key(experiment, label string) checkpoint.Key {
 	return checkpoint.KeyOf(experiment, label, c.schema)
 }
 
+// recoverFail maps a recovered panic value to a cellFail: a sim.Cancelled
+// sentinel becomes a cancellation outcome (no stack — it is an expected
+// control transfer, not a bug), anything else a genuine cell panic.
+func recoverFail(p any) *cellFail {
+	if c, ok := p.(sim.Cancelled); ok {
+		return &cellFail{reason: c.String(), cancelled: true}
+	}
+	return &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
+}
+
 // attempt runs cell i once against co. With no deadline it runs inline;
 // with one, it runs in a goroutine raced against a timer. A cell that
-// overruns its deadline is cancelled from the scheduler's point of view:
-// the worker stops waiting and moves on, and the abandoned goroutine parks
-// its eventual result in a buffered channel nobody reads, so a late
-// completion can never race the merged results.
+// overruns its deadline is cancelled from the scheduler's point of view —
+// the worker stops waiting and moves on — and, because co.Context carries
+// the same deadline, the cell's simulation panics sim.Cancelled at its next
+// tick, so the goroutine terminates instead of leaking. Its parked result
+// goes to a buffered channel nobody reads, so a late completion can never
+// race the merged results; cells that never consult the context (plain
+// closures) are merely abandoned, exactly the historical behaviour.
 func (g *Grid[T]) attempt(i int, co Options, deadline time.Duration) (val T, fail *cellFail) {
 	if deadline <= 0 {
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
-					fail = &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
+					fail = recoverFail(p)
 				}
 			}()
 			val = g.cells[i](co)
@@ -291,7 +337,7 @@ func (g *Grid[T]) attempt(i int, co Options, deadline time.Duration) (val T, fai
 		defer func() { ch <- r }()
 		defer func() {
 			if p := recover(); p != nil {
-				r.fail = &cellFail{reason: firstLine(p), stack: string(debug.Stack())}
+				r.fail = recoverFail(p)
 			}
 		}()
 		r.val = g.cells[i](co)
@@ -343,6 +389,12 @@ func (g *Grid[T]) runCell(i int, o Options, cc *cellCache, out []T) *Failure {
 		}
 	}
 	f, attempts, cellReg := g.runCellAttempts(i, o, cc, out)
+	if f != nil && f.cancelled {
+		// A run-cancelled cell neither completed nor failed: it leaves no
+		// timing record, no FAILED marker and no checkpoint entry, and is
+		// recomputed by the resumed run.
+		return f
+	}
 	if record {
 		wall := time.Since(start)
 		var allocs int64
@@ -439,12 +491,36 @@ func (g *Grid[T]) replayCell(i int, o Options, rec *checkpoint.Record, out []T) 
 	return true
 }
 
+// cellContext derives the context one cell attempt runs under: the run
+// context when HardCancel propagates it, tightened by the per-cell deadline
+// when one is set. The returned cancel func must be called when the attempt
+// resolves; both returns are nil when the cell needs no context at all.
+func cellContext(o Options) (context.Context, context.CancelFunc) {
+	var base context.Context
+	if o.HardCancel && o.Context != nil {
+		base = o.Context
+	}
+	if o.CellTimeout <= 0 {
+		return base, nil
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	return context.WithTimeout(base, o.CellTimeout)
+}
+
 // runCellAttempts is runCell's retry loop, returning the final failure (nil
 // on success), the number of attempts actually made, and — under
 // checkpointing — the private registry the successful attempt recorded
 // into. Each checkpointed attempt gets a fresh registry merged into the
 // shared one only on success, so a panicking attempt's partial
 // instrumentation never leaks into the run totals or the store.
+//
+// Each attempt runs under its own context (see cellContext): a deadline
+// overrun stops the simulation cooperatively and is retried like any
+// timeout, while a run-level cancellation under HardCancel ends the loop
+// immediately with a cancelled failure that Run translates into a Cancelled
+// panic rather than a FAILED record.
 func (g *Grid[T]) runCellAttempts(i int, o Options, cc *cellCache, out []T) (*Failure, int, *metrics.Registry) {
 	attempts := 1 + o.Retries
 	if attempts < 1 {
@@ -459,7 +535,28 @@ func (g *Grid[T]) runCellAttempts(i int, o Options, cc *cellCache, out []T) (*Fa
 			cellReg = metrics.NewRegistry()
 			co.Metrics = cellReg
 		}
+		ctx, cancel := cellContext(o)
+		co.Context = ctx
 		val, fail := g.attempt(i, co, o.CellTimeout)
+		if cancel != nil {
+			cancel()
+		}
+		if fail != nil && fail.cancelled {
+			if o.Context != nil && o.Context.Err() != nil {
+				// The run itself was cancelled; surface that, untallied.
+				return &Failure{
+					Experiment: o.Name,
+					Cell:       i,
+					Label:      g.labels[i],
+					Attempts:   a,
+					Reason:     fail.reason,
+					cancelled:  true,
+				}, a, nil
+			}
+			// The cell's own deadline stopped the simulation before the
+			// scheduler's timer fired; treat it exactly like a timeout.
+			fail.timeout = true
+		}
 		if fail == nil {
 			out[i] = val
 			if isolate {
@@ -517,20 +614,28 @@ func (g *Grid[T]) Run(o Options) []T {
 	cc := newCellCache[T](o)
 
 	// notify serialises Progress callbacks across workers and keeps the
-	// done/failed tallies; the callback itself never runs concurrently.
+	// done/failed tallies (also the Done payload of a Cancelled panic); the
+	// callback itself never runs concurrently.
 	var progMu sync.Mutex
 	done, failed := 0, 0
 	notify := func(cellFailed bool) {
-		if o.Progress == nil {
-			return
-		}
 		progMu.Lock()
 		done++
 		if cellFailed {
 			failed++
 		}
-		o.Progress(Progress{Experiment: o.Name, Done: done, Total: len(g.cells), Failed: failed})
+		if o.Progress != nil {
+			o.Progress(Progress{Experiment: o.Name, Done: done, Total: len(g.cells), Failed: failed})
+		}
 		progMu.Unlock()
+	}
+
+	// stopped reports run-level cancellation; once it fires the scheduler
+	// dispatches no further cells and Run ends in a Cancelled panic after
+	// the in-flight ones drain.
+	stopped := func() bool { return o.Context != nil && o.Context.Err() != nil }
+	raiseCancelled := func() {
+		panic(Cancelled{Experiment: o.Name, Done: done, Total: len(g.cells)})
 	}
 
 	// committed implements the test-only crash hook: cells that completed —
@@ -555,6 +660,9 @@ func (g *Grid[T]) Run(o Options) []T {
 
 	if workers <= 1 {
 		for i := range g.cells {
+			if stopped() {
+				raiseCancelled()
+			}
 			if fromStore(i) {
 				notify(false)
 				if abort() {
@@ -563,6 +671,9 @@ func (g *Grid[T]) Run(o Options) []T {
 				continue
 			}
 			f := g.runCell(i, o, cc, out)
+			if f != nil && f.cancelled {
+				raiseCancelled()
+			}
 			notify(f != nil)
 			if f != nil {
 				if !heal {
@@ -591,6 +702,12 @@ func (g *Grid[T]) Run(o Options) []T {
 			defer wg.Done()
 			for i := range idx {
 				f := g.runCell(i, o, cc, out)
+				if f != nil && f.cancelled {
+					// Run-level cancellation: the dispatcher observes the
+					// context and stops feeding idx; this cell simply
+					// produced nothing.
+					continue
+				}
 				notify(f != nil)
 				if abort() {
 					aborted.Store(true)
@@ -610,14 +727,16 @@ func (g *Grid[T]) Run(o Options) []T {
 			}
 		}()
 	}
+	dispatched := 0
 	for i := range g.cells {
-		if aborted.Load() {
+		if aborted.Load() || stopped() {
 			break
 		}
 		// Store hits are replayed on the dispatcher, serialising their
 		// registry merges and progress callbacks in declaration order;
 		// only genuine misses are fanned out.
 		if fromStore(i) {
+			dispatched++
 			notify(false)
 			if abort() {
 				aborted.Store(true)
@@ -625,6 +744,7 @@ func (g *Grid[T]) Run(o Options) []T {
 			continue
 		}
 		idx <- i
+		dispatched++
 	}
 	close(idx)
 	wg.Wait()
@@ -634,6 +754,11 @@ func (g *Grid[T]) Run(o Options) []T {
 	}
 	if aborted.Load() {
 		panic(gridAbort{committed: int(committed.Load())})
+	}
+	// A context that fired only after every cell was dispatched and
+	// completed interrupts nothing: the run is whole, return it.
+	if stopped() && (dispatched < len(g.cells) || done < len(g.cells)) {
+		raiseCancelled()
 	}
 	return out
 }

@@ -1,0 +1,85 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"udwn/internal/checkpoint"
+	"udwn/internal/experiment"
+	"udwn/internal/metrics"
+)
+
+// RunContext carries the per-attempt environment the server hands a Runner:
+// the shared checkpoint store (the cross-job result cache), a fresh metrics
+// registry for the attempt, and the progress sink feeding the job's event
+// stream.
+type RunContext struct {
+	// Attempt is the 1-based supervisor attempt.
+	Attempt int
+	// Checkpoint is the daemon-wide content-addressed cell store; nil when
+	// the server runs without one (tests).
+	Checkpoint *checkpoint.Store
+	// Metrics is a registry private to this attempt.
+	Metrics *metrics.Registry
+	// Progress receives grid progress; may be nil.
+	Progress func(experiment.Progress)
+}
+
+// Runner executes one job attempt and returns the rendered output. An error
+// fails the attempt (the supervisor retries within the job's budget); a
+// context-cancellation error is classified by the supervisor into deadline,
+// drain or client-cancel outcomes. Runners must be safe for concurrent use
+// by pool workers.
+type Runner func(ctx context.Context, spec Spec, rc RunContext) (string, error)
+
+// ExperimentRunner returns the production Runner: it executes the spec's
+// experiments in order on the experiment grid — gridWorkers concurrent
+// cells, the given per-cell deadline and retry budget — writing through the
+// shared checkpoint store so finished cells are computed once daemon-wide.
+// The grid runs with HardCancel: when ctx fires (deadline, drain past
+// grace, client cancel) in-flight simulations stop at their next tick,
+// completed cells stay checkpointed, and the attempt returns ctx's error.
+//
+// Output is the same rendered text cmd/experiments prints for the same
+// options, and — because every grid cell is a pure function of its
+// coordinates — byte-identical across retries, restarts and worker counts.
+func ExperimentRunner(gridWorkers int, cellTimeout time.Duration, cellRetries int) Runner {
+	return func(ctx context.Context, spec Spec, rc RunContext) (out string, err error) {
+		o := experiment.Options{
+			Seeds:       spec.Seeds,
+			Quick:       spec.Quick,
+			Workers:     gridWorkers,
+			CellTimeout: cellTimeout,
+			Retries:     cellRetries,
+			Report:      experiment.NewRunReport(),
+			Metrics:     rc.Metrics,
+			Checkpoint:  rc.Checkpoint,
+			Progress:    rc.Progress,
+			Context:     ctx,
+			HardCancel:  true,
+		}
+		defer func() {
+			switch p := recover().(type) {
+			case nil:
+			case experiment.Cancelled:
+				// The grid drained its in-flight cells and stopped; report
+				// the cause (deadline vs cancellation) with the progress at
+				// the moment of interruption.
+				err = fmt.Errorf("%s: %w", p, context.Cause(ctx))
+			default:
+				err = fmt.Errorf("jobs: runner panic: %v", p)
+			}
+		}()
+		var b strings.Builder
+		for _, id := range spec.Experiments {
+			e, ok := experiment.Lookup(id)
+			if !ok {
+				return "", &InvalidError{Reason: fmt.Sprintf("unknown experiment %q", id)}
+			}
+			fmt.Fprintf(&b, "=== %s: %s ===\n%s\n", e.ID, e.Title, e.Run(o))
+		}
+		return b.String(), nil
+	}
+}

@@ -1,0 +1,735 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"udwn/internal/checkpoint"
+	"udwn/internal/experiment"
+	"udwn/internal/metrics"
+	"udwn/internal/rng"
+)
+
+// Config tunes the daemon. The zero value of every field selects a sensible
+// default (see fill); only Dir is required.
+type Config struct {
+	// Dir is the daemon state directory: jobs.journal (the accepted-work
+	// ledger) plus cells/ (the shared checkpoint store). Both are resumed,
+	// never truncated, so restarting over the same Dir continues where the
+	// previous process died.
+	Dir string
+	// Workers is the number of jobs executing concurrently (default 2).
+	Workers int
+	// GridWorkers caps concurrent cells inside each job's grid (default 1;
+	// job-level parallelism already fills the pool).
+	GridWorkers int
+	// QueueDepth bounds the number of jobs waiting for a worker; beyond
+	// it submissions shed with ErrBusy (default 64).
+	QueueDepth int
+	// MaxWeight bounds the total declared cell weight (experiments ×
+	// seeds) of queued plus running jobs — the in-flight budget behind the
+	// second shedding condition (default 512).
+	MaxWeight int
+	// MaxSeeds and MaxRetries cap what one submission may request
+	// (defaults 64 and 5).
+	MaxSeeds   int
+	MaxRetries int
+	// DefaultDeadline and MaxDeadline bound one attempt's wall clock
+	// (defaults 2m and 15m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// CellTimeout and CellRetries are the per-cell deadline and retry
+	// budget every job grid runs with (defaults 0 — no cell deadline — and
+	// 1 retry).
+	CellTimeout time.Duration
+	CellRetries int
+	// BackoffBase and BackoffMax shape the supervisor's exponential retry
+	// delay (defaults 250ms and 5s); the jitter is deterministic given the
+	// job's Seed.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DrainGrace is how long Drain lets running jobs finish before their
+	// grids are cancelled and the jobs park for the next start (default 5s).
+	DrainGrace time.Duration
+	// RetryAfter is the Retry-After hint attached to shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// Runner executes job attempts; nil selects ExperimentRunner with the
+	// grid settings above. Tests inject fakes here.
+	Runner Runner
+	// Metrics is the daemon registry carrying the jobs/* counters; nil
+	// creates a private one.
+	Metrics *metrics.Registry
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.GridWorkers <= 0 {
+		c.GridWorkers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxWeight <= 0 {
+		c.MaxWeight = 512
+	}
+	if c.MaxSeeds <= 0 {
+		c.MaxSeeds = 64
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 15 * time.Minute
+	}
+	if c.CellRetries <= 0 {
+		c.CellRetries = 1
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Runner == nil {
+		c.Runner = ExperimentRunner(c.GridWorkers, c.CellTimeout, c.CellRetries)
+	}
+}
+
+// counterNames is the canonical jobs/* instrument set, registered up front
+// so every snapshot reports the full set (zeros included).
+var counterNames = []string{
+	"jobs/accepted", "jobs/shed", "jobs/rejected", "jobs/journal-errors",
+	"jobs/done", "jobs/failed", "jobs/cancelled",
+	"jobs/retried", "jobs/resumed", "jobs/drained",
+}
+
+// job is the server-internal mutable record behind a JobView. Every field
+// is guarded by the server mutex.
+type job struct {
+	id       string
+	spec     Spec
+	state    State
+	attempts int
+	lastErr  string
+	output   string
+	resumed  bool
+	prog     *ProgressView
+
+	cancelReq    bool
+	cancelClosed bool
+	cancelCh     chan struct{}
+	runCancel    context.CancelFunc
+
+	subs   map[int]chan Event
+	subSeq int
+}
+
+// view snapshots the job; the caller holds the server mutex.
+func (j *job) view() JobView {
+	v := JobView{
+		ID:       j.id,
+		State:    j.state,
+		Spec:     j.spec,
+		Attempts: j.attempts,
+		Error:    j.lastErr,
+		Resumed:  j.resumed,
+	}
+	if j.prog != nil {
+		p := *j.prog
+		v.Progress = &p
+	}
+	return v
+}
+
+// Server is the supervised job pool. Open resumes the state directory,
+// starts the workers, and the HTTP layer in http.go exposes it.
+type Server struct {
+	cfg    Config
+	reg    *metrics.Registry
+	store  *checkpoint.Store
+	ledger *jobJournal
+
+	// runCtx is the parent of every attempt context; runCancel fires when
+	// drain exceeds its grace (hard-cancelling in-flight grids).
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	// drainCh closes the moment drain begins, interrupting backoff sleeps.
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	order    []string
+	queue    []*job
+	weight   int
+	seq      int
+	draining bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// Open resumes (or creates) the daemon state in cfg.Dir and starts the
+// worker pool. The job journal replays first: terminal jobs come back
+// servable (state, output, error), and every job that was accepted but not
+// terminal — queued, running or backing off when the process died — is
+// re-queued in submission order with Resumed set, counted under
+// jobs/resumed. Their grids replay finished cells from the shared
+// checkpoint store, so a SIGKILL costs at most the cells that were in
+// flight.
+func Open(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create dir: %w", err)
+	}
+	store, err := checkpoint.Resume(filepath.Join(cfg.Dir, "cells"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		store:   store,
+		drainCh: make(chan struct{}),
+		jobs:    make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	for _, name := range counterNames {
+		s.reg.Counter(name)
+	}
+
+	ledger, err := resumeJobJournal(cfg.Dir, s.replay)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.ledger = ledger
+
+	// Re-queue the interrupted jobs in submission order.
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.Terminal() {
+			continue
+		}
+		j.state = StateQueued
+		j.resumed = true
+		s.queue = append(s.queue, j)
+		s.weight += j.spec.weight()
+		s.reg.Counter("jobs/resumed").Inc()
+	}
+
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay applies one journal event during Open.
+func (s *Server) replay(ev jobEvent) {
+	switch ev.Kind {
+	case "submit":
+		j := &job{
+			id:       ev.ID,
+			spec:     *ev.Spec,
+			state:    StateQueued,
+			cancelCh: make(chan struct{}),
+			subs:     make(map[int]chan Event),
+		}
+		if _, dup := s.jobs[ev.ID]; dup {
+			return
+		}
+		s.jobs[ev.ID] = j
+		s.order = append(s.order, ev.ID)
+		if ev.Seq > s.seq {
+			s.seq = ev.Seq
+		}
+	case "done", "failed", "cancelled":
+		j, ok := s.jobs[ev.ID]
+		if !ok {
+			return
+		}
+		switch ev.Kind {
+		case "done":
+			j.state = StateDone
+			j.output = ev.Output
+		case "failed":
+			j.state = StateFailed
+			j.lastErr = ev.Error
+		case "cancelled":
+			j.state = StateCancelled
+			j.lastErr = ev.Error
+		}
+		j.attempts = ev.Attempts
+	}
+}
+
+// Store exposes the shared checkpoint store (metrics/introspection).
+func (s *Server) Store() *checkpoint.Store { return s.store }
+
+// Metrics exposes the daemon registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// JournalTornBytes reports how many torn journal bytes Open's recovery
+// dropped (0 for a clean start).
+func (s *Server) JournalTornBytes() int64 { return s.ledger.tornBytes() }
+
+// Draining reports whether graceful shutdown has begun (readyz flips on it).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit validates and accepts one job: journalled before the call returns,
+// so an acknowledged job survives any crash. Returns ErrDraining during
+// shutdown and ErrBusy when the queue depth or the in-flight cell-weight
+// budget would be exceeded — the load-shedding contract that keeps the
+// daemon's memory bounded under submission floods.
+func (s *Server) Submit(spec Spec) (JobView, error) {
+	if err := spec.validate(&s.cfg); err != nil {
+		s.reg.Counter("jobs/rejected").Inc()
+		return JobView{}, err
+	}
+	w := spec.weight()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return JobView{}, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueDepth || s.weight+w > s.cfg.MaxWeight {
+		s.mu.Unlock()
+		s.reg.Counter("jobs/shed").Inc()
+		return JobView{}, ErrBusy
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("j-%06d", s.seq),
+		spec:     spec,
+		state:    StateQueued,
+		cancelCh: make(chan struct{}),
+		subs:     make(map[int]chan Event),
+	}
+	if err := s.ledger.append(jobEvent{Kind: "submit", ID: j.id, Seq: s.seq, Spec: &spec}); err != nil {
+		s.mu.Unlock()
+		s.reg.Counter("jobs/journal-errors").Inc()
+		return JobView{}, err
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue = append(s.queue, j)
+	s.weight += w
+	s.reg.Gauge("jobs/weight-high-water").SetMax(int64(s.weight))
+	s.reg.Gauge("jobs/queue-high-water").SetMax(int64(len(s.queue)))
+	view := j.view()
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.reg.Counter("jobs/accepted").Inc()
+	return view, nil
+}
+
+// View returns the snapshot of one job.
+func (s *Server) View(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// List returns every job in submission order.
+func (s *Server) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	ids := append([]string(nil), s.order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Result returns a terminal job's rendered output (DONE) or its last error
+// (FAILED/CANCELLED). Non-terminal jobs report their current state.
+func (s *Server) Result(id string) (output string, state State, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", "", ErrNotFound
+	}
+	return j.output, j.state, nil
+}
+
+// Cancel cancels one job: a queued job goes terminal immediately, a running
+// one has its grid cancelled (completed cells stay checkpointed) and goes
+// terminal when the attempt unwinds, a backing-off one skips its sleep.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobView{}, ErrNotFound
+	}
+	if j.state.Terminal() {
+		view := j.view()
+		s.mu.Unlock()
+		return view, ErrTerminal
+	}
+	j.cancelReq = true
+	if !j.cancelClosed {
+		j.cancelClosed = true
+		close(j.cancelCh)
+	}
+	if j.runCancel != nil {
+		j.runCancel()
+	}
+	// A job still in the queue is cancelled synchronously — no worker will
+	// ever pick it up.
+	wasQueued := false
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			wasQueued = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if wasQueued {
+		s.finish(j, StateCancelled, 0, "", "cancelled before start")
+	}
+	return s.View(id)
+}
+
+// Subscribe attaches a live event stream to a job: the current state is
+// delivered first, then transitions and grid progress as they happen; the
+// channel closes after the terminal event. The returned cancel detaches.
+// Slow consumers lose events rather than block the pool (buffer 64).
+func (s *Server) Subscribe(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, 64)
+	ch <- Event{Type: "state", Job: j.id, State: j.state, Attempt: j.attempts, Error: j.lastErr}
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subSeq++
+	key := j.subSeq
+	j.subs[key] = ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := j.subs[key]; live {
+			delete(j.subs, key)
+			close(ch)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// publishLocked fans an event out to the job's subscribers; the caller
+// holds the server mutex. Sends never block: a full subscriber buffer drops
+// the event (progress is advisory; the terminal state also closes the
+// channel, which cannot be missed).
+func (s *Server) publishLocked(j *job, ev Event) {
+	ev.Job = j.id
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (s *Server) closeSubsLocked(j *job) {
+	for k, ch := range j.subs {
+		delete(j.subs, k)
+		close(ch)
+	}
+}
+
+// worker is one pool goroutine: pop, supervise, repeat. Drain stops the
+// popping — queued jobs stay journalled-but-not-terminal, which is exactly
+// the set the next start re-queues.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.supervise(j)
+	}
+}
+
+// attemptOutcome classifies a failed attempt.
+type attemptOutcome int
+
+const (
+	outcomeError attemptOutcome = iota
+	outcomeDrained
+	outcomeCancelled
+)
+
+// supervise drives one job through its attempt/backoff loop to a terminal
+// state (or parks it when drain interrupts). Backoff delays grow
+// exponentially from BackoffBase to BackoffMax with jitter that is a pure
+// function of (spec.Seed, attempt), so a job's retry schedule is
+// reproducible from its submission.
+func (s *Server) supervise(j *job) {
+	spec := j.spec
+	attempts := 1 + spec.Retries
+	lastErr := "unknown error"
+	for a := 1; a <= attempts; a++ {
+		s.transition(j, StateRunning, a, "")
+		out, err := s.runOnce(j, a)
+		if err == nil {
+			s.finish(j, StateDone, a, out, "")
+			return
+		}
+		switch s.classify(j, err) {
+		case outcomeDrained:
+			s.park(j, a)
+			return
+		case outcomeCancelled:
+			s.finish(j, StateCancelled, a, "", err.Error())
+			return
+		}
+		lastErr = err.Error()
+		if a == attempts {
+			break
+		}
+		s.reg.Counter("jobs/retried").Inc()
+		s.transition(j, StateBackoff, a, lastErr)
+		t := time.NewTimer(backoffDelay(s.cfg.BackoffBase, s.cfg.BackoffMax, spec.Seed, a))
+		select {
+		case <-t.C:
+		case <-s.drainCh:
+			t.Stop()
+			s.park(j, a)
+			return
+		case <-j.cancelCh:
+			t.Stop()
+			s.finish(j, StateCancelled, a, "", "cancelled during backoff")
+			return
+		}
+	}
+	s.finish(j, StateFailed, attempts, "", lastErr)
+}
+
+// runOnce executes one attempt under the job's deadline, parented on the
+// server run context so a post-grace drain cancels it too.
+func (s *Server) runOnce(j *job, attempt int) (string, error) {
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	dctx, dcancel := context.WithTimeout(ctx, j.spec.deadline(&s.cfg))
+	defer dcancel()
+	s.mu.Lock()
+	j.runCancel = cancel
+	cancelReq := j.cancelReq
+	s.mu.Unlock()
+	if cancelReq {
+		return "", context.Canceled
+	}
+	rc := RunContext{
+		Attempt:    attempt,
+		Checkpoint: s.store,
+		Metrics:    metrics.NewRegistry(),
+		Progress: func(p experiment.Progress) {
+			s.progress(j, attempt, p)
+		},
+	}
+	return s.cfg.Runner(dctx, j.spec, rc)
+}
+
+// classify maps a failed attempt's error to its outcome: client cancel and
+// drain are not failures, everything else (deadline included) consumes the
+// retry budget.
+func (s *Server) classify(j *job, err error) attemptOutcome {
+	s.mu.Lock()
+	cancelReq := j.cancelReq
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case cancelReq:
+		return outcomeCancelled
+	case draining || s.runCtx.Err() != nil:
+		// Any error during drain parks the job: retrying now would only
+		// delay shutdown, and the restart re-runs it with the checkpoint
+		// store primed.
+		return outcomeDrained
+	default:
+		_ = err
+		return outcomeError
+	}
+}
+
+// transition publishes a non-terminal state change.
+func (s *Server) transition(j *job, st State, attempt int, errStr string) {
+	s.mu.Lock()
+	j.state = st
+	j.attempts = attempt
+	j.lastErr = errStr
+	s.publishLocked(j, Event{Type: "state", State: st, Attempt: attempt, Error: errStr})
+	s.mu.Unlock()
+}
+
+// finish journals and publishes a terminal state, releasing the job's
+// admission weight and closing its event streams.
+func (s *Server) finish(j *job, st State, attempts int, out, errStr string) {
+	kind := map[State]string{
+		StateDone: "done", StateFailed: "failed", StateCancelled: "cancelled",
+	}[st]
+	if err := s.ledger.append(jobEvent{Kind: kind, ID: j.id, Output: out, Error: errStr, Attempts: attempts}); err != nil {
+		// The in-memory state is still authoritative for this process; the
+		// next start will re-run the job, which the checkpoint store makes
+		// cheap.
+		s.reg.Counter("jobs/journal-errors").Inc()
+	}
+	s.mu.Lock()
+	j.state = st
+	j.attempts = attempts
+	j.output = out
+	j.lastErr = errStr
+	j.runCancel = nil
+	s.weight -= j.spec.weight()
+	s.publishLocked(j, Event{Type: "state", State: st, Attempt: attempts, Error: errStr})
+	s.closeSubsLocked(j)
+	s.mu.Unlock()
+	switch st {
+	case StateDone:
+		s.reg.Counter("jobs/done").Inc()
+	case StateFailed:
+		s.reg.Counter("jobs/failed").Inc()
+	case StateCancelled:
+		s.reg.Counter("jobs/cancelled").Inc()
+	}
+}
+
+// park returns an interrupted job to QUEUED without a terminal journal
+// record: the next start finds the submit record unterminated and re-queues
+// it — the crash-safe "checkpoint the job" half of drain.
+func (s *Server) park(j *job, attempt int) {
+	s.mu.Lock()
+	j.state = StateQueued
+	j.runCancel = nil
+	s.publishLocked(j, Event{Type: "state", State: StateQueued, Attempt: attempt})
+	s.mu.Unlock()
+	s.reg.Counter("jobs/drained").Inc()
+}
+
+// progress records and publishes one grid progress update.
+func (s *Server) progress(j *job, attempt int, p experiment.Progress) {
+	s.mu.Lock()
+	j.prog = &ProgressView{Experiment: p.Experiment, Done: p.Done, Total: p.Total, Failed: p.Failed}
+	s.publishLocked(j, Event{
+		Type: "progress", Attempt: attempt,
+		Experiment: p.Experiment, Done: p.Done, Total: p.Total, Failed: p.Failed,
+	})
+	s.mu.Unlock()
+}
+
+// backoffDelay is the supervisor's retry delay: exponential growth from
+// base, capped at max, scaled by a jitter factor in [0.5, 1.5) that is a
+// pure function of (seed, attempt) — deterministic per submission, spread
+// across submissions.
+func backoffDelay(base, max time.Duration, seed uint64, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	f := rng.New(seed).Fork(uint64(attempt)).Float64()
+	return time.Duration(float64(d) * (0.5 + f))
+}
+
+// Drain performs graceful shutdown: stop accepting and popping, give
+// running jobs DrainGrace to finish (their results journal as usual), then
+// cancel their grids — completed cells stay checkpointed and the jobs park
+// for the next start — and finally fsync both journals. Safe to call more
+// than once; later calls just wait for the first to finish.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	if first {
+		close(s.drainCh)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	grace := time.AfterFunc(s.cfg.DrainGrace, s.runCancel)
+	s.wg.Wait()
+	grace.Stop()
+	s.runCancel()
+
+	var firstErr error
+	if err := s.store.Sync(); err != nil {
+		firstErr = err
+	}
+	if err := s.ledger.sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return firstErr
+}
+
+// Close releases the journal handles. Call after Drain.
+func (s *Server) Close() error {
+	err := s.store.Close()
+	if cerr := s.ledger.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

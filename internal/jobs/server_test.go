@@ -1,0 +1,476 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"udwn/internal/metrics"
+)
+
+// testConfig returns a Config with millisecond-scale timings and the given
+// stub runner, so supervisor behaviour is observable without real grids.
+func testConfig(t *testing.T, r Runner) Config {
+	t.Helper()
+	return Config{
+		Dir:         t.TempDir(),
+		Workers:     2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		DrainGrace:  100 * time.Millisecond,
+		Metrics:     metrics.NewRegistry(),
+		Runner:      r,
+	}
+}
+
+func mustOpen(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// waitTerminal blocks until the job reaches a terminal state, via its event
+// stream (which closes after the terminal event).
+func waitTerminal(t *testing.T, s *Server, id string) JobView {
+	t.Helper()
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				v, err := s.View(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		case <-timeout:
+			v, _ := s.View(id)
+			t.Fatalf("job %s never went terminal (state %s)", id, v.State)
+		}
+	}
+}
+
+func okRunner(out string) Runner {
+	return func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		return out, nil
+	}
+}
+
+func spec1() Spec { return Spec{Experiments: []string{"table1"}, Quick: true} }
+
+func TestSubmitRunDone(t *testing.T) {
+	s := mustOpen(t, testConfig(t, okRunner("hello\n")))
+	defer s.Close()
+	v, err := s.Submit(spec1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.State != StateQueued {
+		t.Fatalf("submit view = %+v", v)
+	}
+	final := waitTerminal(t, s, v.ID)
+	if final.State != StateDone || final.Attempts != 1 {
+		t.Fatalf("final = %+v, want DONE in 1 attempt", final)
+	}
+	out, state, err := s.Result(v.ID)
+	if err != nil || state != StateDone || out != "hello\n" {
+		t.Fatalf("Result = %q, %s, %v", out, state, err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Metrics()
+	if a, d := reg.CounterValue("jobs/accepted"), reg.CounterValue("jobs/done"); a != 1 || d != 1 {
+		t.Fatalf("accepted=%d done=%d, want 1/1", a, d)
+	}
+}
+
+func TestRetryBudgetExhaustedFails(t *testing.T) {
+	var calls atomic.Int64
+	r := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		calls.Add(1)
+		return "", errors.New("boom")
+	}
+	s := mustOpen(t, testConfig(t, r))
+	defer s.Close()
+	sp := spec1()
+	sp.Retries = 2
+	v, err := s.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want FAILED", final.State)
+	}
+	if final.Attempts != 3 || calls.Load() != 3 {
+		t.Fatalf("attempts = %d (runner calls %d), want 3", final.Attempts, calls.Load())
+	}
+	if !strings.Contains(final.Error, "boom") {
+		t.Fatalf("terminal record lost the last error: %+v", final)
+	}
+	if got := s.Metrics().CounterValue("jobs/retried"); got != 2 {
+		t.Fatalf("jobs/retried = %d, want 2", got)
+	}
+}
+
+func TestRetryRecoversOnSecondAttempt(t *testing.T) {
+	var calls atomic.Int64
+	r := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		if calls.Add(1) == 1 {
+			return "", errors.New("transient")
+		}
+		return "recovered", nil
+	}
+	s := mustOpen(t, testConfig(t, r))
+	defer s.Close()
+	sp := spec1()
+	sp.Retries = 3
+	v, _ := s.Submit(sp)
+	final := waitTerminal(t, s, v.ID)
+	if final.State != StateDone || final.Attempts != 2 {
+		t.Fatalf("final = %+v, want DONE in 2 attempts", final)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := mustOpen(t, testConfig(t, okRunner("")))
+	defer s.Close()
+	bad := []Spec{
+		{},
+		{Experiments: []string{"no-such-experiment"}},
+		{Experiments: []string{"table1"}, Seeds: -1},
+		{Experiments: []string{"table1"}, Seeds: 10_000},
+		{Experiments: []string{"table1"}, Retries: 10_000},
+		{Experiments: []string{"table1"}, DeadlineMs: -5},
+		{Experiments: []string{"table1"}, DeadlineMs: int64(24 * time.Hour / time.Millisecond)},
+	}
+	for i, sp := range bad {
+		var inv *InvalidError
+		if _, err := s.Submit(sp); !errors.As(err, &inv) {
+			t.Fatalf("spec %d: err = %v, want InvalidError", i, err)
+		}
+	}
+	if got := s.Metrics().CounterValue("jobs/rejected"); got != int64(len(bad)) {
+		t.Fatalf("jobs/rejected = %d, want %d", got, len(bad))
+	}
+}
+
+func TestLoadSheddingByQueueDepthAndWeight(t *testing.T) {
+	block := make(chan struct{})
+	r := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "", nil
+	}
+	cfg := testConfig(t, r)
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	cfg.MaxWeight = 100
+	s := mustOpen(t, cfg)
+	defer s.Close()
+	defer close(block)
+
+	// One running job first (wait until the worker pops it), then exactly
+	// QueueDepth queued ones fill the queue.
+	if _, err := s.Submit(spec1()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := s.View("j-000001"); v.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < cfg.QueueDepth; i++ {
+		if _, err := s.Submit(spec1()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(spec1()); !errors.Is(err, ErrBusy) {
+		t.Fatalf("depth overflow: err = %v, want ErrBusy", err)
+	}
+	// Weight overflow sheds even when the queue has room.
+	cfg2 := testConfig(t, r)
+	cfg2.Workers = 1
+	cfg2.QueueDepth = 100
+	cfg2.MaxWeight = 5
+	s2 := mustOpen(t, cfg2)
+	defer s2.Close()
+	heavy := Spec{Experiments: []string{"table1"}, Seeds: 4, Quick: true} // weight 4
+	if _, err := s2.Submit(heavy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Submit(heavy); !errors.Is(err, ErrBusy) {
+		t.Fatalf("weight overflow: err = %v, want ErrBusy", err)
+	}
+	if shed := s2.Metrics().CounterValue("jobs/shed"); shed != 1 {
+		t.Fatalf("jobs/shed = %d, want 1", shed)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	release := make(chan struct{})
+	r := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		select {
+		case <-release:
+			return "done", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	cfg := testConfig(t, r)
+	cfg.Workers = 1
+	s := mustOpen(t, cfg)
+	defer s.Close()
+	running, _ := s.Submit(spec1())
+	queued, _ := s.Submit(spec1())
+
+	// Cancel the queued job: terminal immediately, no worker involved.
+	v, err := s.Cancel(queued.ID)
+	if err != nil || v.State != StateCancelled {
+		t.Fatalf("cancel queued: %+v, %v", v, err)
+	}
+	// Cancelling again conflicts.
+	if _, err := s.Cancel(queued.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("re-cancel: err = %v, want ErrTerminal", err)
+	}
+	// Cancel the running job: its context fires and it unwinds CANCELLED.
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, running.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("running job state = %s, want CANCELLED", final.State)
+	}
+	if _, err := s.Cancel("j-999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: err = %v, want ErrNotFound", err)
+	}
+	if got := s.Metrics().CounterValue("jobs/cancelled"); got != 2 {
+		t.Fatalf("jobs/cancelled = %d, want 2", got)
+	}
+}
+
+func TestDeadlineFailsAttempt(t *testing.T) {
+	r := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		<-ctx.Done()
+		return "", ctx.Err()
+	}
+	s := mustOpen(t, testConfig(t, r))
+	defer s.Close()
+	sp := spec1()
+	sp.DeadlineMs = 20
+	v, _ := s.Submit(sp)
+	final := waitTerminal(t, s, v.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want FAILED after deadline", final.State)
+	}
+	if !strings.Contains(final.Error, "deadline") && !strings.Contains(final.Error, "context") {
+		t.Fatalf("error = %q, want a deadline error", final.Error)
+	}
+}
+
+// TestBackoffDeterministic pins the jitter contract: the delay is a pure
+// function of (seed, attempt), bounded by [d/2, 3d/2) of the exponential
+// envelope, and different seeds spread.
+func TestBackoffDeterministic(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := backoffDelay(base, max, 42, attempt)
+		d2 := backoffDelay(base, max, 42, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic delay %s vs %s", attempt, d1, d2)
+		}
+		env := base << (attempt - 1)
+		if env > max {
+			env = max
+		}
+		if d1 < env/2 || d1 >= env+env/2 {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s)", attempt, d1, env/2, env+env/2)
+		}
+	}
+	if backoffDelay(base, max, 1, 1) == backoffDelay(base, max, 2, 1) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	if backoffDelay(0, max, 1, 1) != 0 {
+		t.Fatal("zero base must mean zero delay")
+	}
+}
+
+// TestDrainParksRunningJobAndResumes pins the drain-then-restart loop: a job
+// still running when the grace expires parks (no terminal record), and a new
+// server over the same directory re-queues it as resumed and finishes it.
+func TestDrainParksRunningJobAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	blockForever := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return "", ctx.Err()
+	}
+	cfg := Config{
+		Dir: dir, Workers: 1, DrainGrace: 50 * time.Millisecond,
+		BackoffBase: time.Millisecond, Metrics: metrics.NewRegistry(),
+		Runner: blockForever,
+	}
+	s := mustOpen(t, cfg)
+	v, err := s.Submit(spec1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.View(v.ID); got.State != StateQueued {
+		t.Fatalf("state after drain = %s, want QUEUED (parked)", got.State)
+	}
+	if got := s.Metrics().CounterValue("jobs/drained"); got != 1 {
+		t.Fatalf("jobs/drained = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := cfg
+	cfg2.Metrics = metrics.NewRegistry()
+	cfg2.Runner = okRunner("after restart")
+	s2 := mustOpen(t, cfg2)
+	defer s2.Close()
+	if got := s2.Metrics().CounterValue("jobs/resumed"); got != 1 {
+		t.Fatalf("jobs/resumed = %d, want 1", got)
+	}
+	final := waitTerminal(t, s2, v.ID)
+	if final.State != StateDone || !final.Resumed {
+		t.Fatalf("resumed final = %+v, want resumed DONE", final)
+	}
+	out, _, _ := s2.Result(v.ID)
+	if out != "after restart" {
+		t.Fatalf("output = %q", out)
+	}
+	s2.Drain()
+}
+
+// TestTerminalRecordsSurviveRestart pins that DONE/FAILED outcomes — output
+// and last error included — keep serving across a restart.
+func TestTerminalRecordsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	r := func(ctx context.Context, spec Spec, rc RunContext) (string, error) {
+		if calls.Add(1) == 1 {
+			return "persisted output", nil
+		}
+		return "", errors.New("persistent failure")
+	}
+	cfg := Config{
+		Dir: dir, Workers: 1, BackoffBase: time.Millisecond,
+		Metrics: metrics.NewRegistry(), Runner: r,
+	}
+	s := mustOpen(t, cfg)
+	ok1, _ := s.Submit(spec1())
+	waitTerminal(t, s, ok1.ID)
+	bad := spec1()
+	fail1, _ := s.Submit(bad)
+	waitTerminal(t, s, fail1.ID)
+	s.Drain()
+	s.Close()
+
+	cfg2 := cfg
+	cfg2.Metrics = metrics.NewRegistry()
+	s2 := mustOpen(t, cfg2)
+	defer func() { s2.Drain(); s2.Close() }()
+	if out, state, err := s2.Result(ok1.ID); err != nil || state != StateDone || out != "persisted output" {
+		t.Fatalf("restarted Result = %q, %s, %v", out, state, err)
+	}
+	v, err := s2.View(fail1.ID)
+	if err != nil || v.State != StateFailed || !strings.Contains(v.Error, "persistent failure") {
+		t.Fatalf("restarted failed view = %+v, %v", v, err)
+	}
+	// Terminal jobs must not re-run.
+	if got := s2.Metrics().CounterValue("jobs/resumed"); got != 0 {
+		t.Fatalf("jobs/resumed = %d, want 0", got)
+	}
+}
+
+// TestDrainRefusesSubmissions pins the drain accept contract.
+func TestDrainRefusesSubmissions(t *testing.T) {
+	s := mustOpen(t, testConfig(t, okRunner("")))
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec1()); !errors.Is(err, ErrClosed) && !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: err = %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	s.Close()
+}
+
+// TestSubscribeTerminalJobClosesImmediately pins the late-subscriber path.
+func TestSubscribeTerminalJobClosesImmediately(t *testing.T) {
+	s := mustOpen(t, testConfig(t, okRunner("x")))
+	defer func() { s.Drain(); s.Close() }()
+	v, _ := s.Submit(spec1())
+	waitTerminal(t, s, v.ID)
+	ch, cancel, err := s.Subscribe(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	ev, ok := <-ch
+	if !ok || !ev.State.Terminal() {
+		t.Fatalf("first event = %+v, %v; want terminal snapshot", ev, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("stream did not close after terminal snapshot")
+	}
+}
+
+// TestExperimentRunnerCancellation drives the production runner with a
+// pre-cancelled context: it must return the cancellation as an error, not
+// hang or panic through.
+func TestExperimentRunnerCancellation(t *testing.T) {
+	r := ExperimentRunner(1, 0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r(ctx, Spec{Experiments: []string{"table1"}, Quick: true}, RunContext{Metrics: metrics.NewRegistry()})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExperimentRunnerProducesOutput runs one real quick experiment through
+// the production runner end to end.
+func TestExperimentRunnerProducesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real experiment run")
+	}
+	r := ExperimentRunner(2, 0, 1)
+	out, err := r(context.Background(), Spec{Experiments: []string{"table1"}, Quick: true, Seeds: 1},
+		RunContext{Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== table1:") {
+		t.Fatalf("output missing experiment header:\n%s", out)
+	}
+}

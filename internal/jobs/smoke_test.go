@@ -1,0 +1,142 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonBinarySmoke is the end-to-end smoke test ci.sh runs: build the
+// real udwnd binary, start it, submit a quick job over HTTP, stream its
+// events to DONE, fetch the result, then SIGTERM and require a clean drain
+// (exit 0). Gated behind UDWND_SMOKE=1 because it builds and runs a real
+// daemon process.
+func TestDaemonBinarySmoke(t *testing.T) {
+	if os.Getenv("UDWND_SMOKE") != "1" {
+		t.Skip("set UDWND_SMOKE=1 to run the daemon binary smoke test")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "udwnd")
+	build := exec.Command("go", "build", "-o", bin, "udwn/cmd/udwnd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build udwnd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-dir", filepath.Join(tmp, "state"),
+		"-workers", "2",
+		"-grid-workers", "2",
+		"-drain-grace", "10s",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "listening on <addr>" once ready.
+	lines := bufio.NewScanner(stderr)
+	var base string
+	logged := make(chan string, 64)
+	go func() {
+		defer close(logged)
+		for lines.Scan() {
+			logged <- lines.Text()
+		}
+	}()
+	for line := range logged {
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			base = "http://" + strings.TrimSuffix(addr, ",")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("daemon never reported its listen address")
+	}
+	go func() {
+		for range logged { // keep draining stderr so the daemon never blocks
+		}
+	}()
+
+	// Submit one quick job.
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"experiments":["table1"],"quick":true,"seeds":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Stream its events until the terminal state.
+	er, err := http.Get(base + "/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(er.Body)
+	final := State("")
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		if ev.Type == "state" && ev.State.Terminal() {
+			final = ev.State
+			break
+		}
+	}
+	er.Body.Close()
+	if final != StateDone {
+		t.Fatalf("job ended %s, want DONE", final)
+	}
+
+	// The rendered result must be servable.
+	rr, err := http.Get(base + "/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 64)
+	n, _ := rr.Body.Read(body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), "table1") {
+		t.Fatalf("result status = %d body prefix = %q", rr.StatusCode, body[:n])
+	}
+
+	// SIGTERM must drain gracefully: exit code 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited nonzero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	fmt.Fprintln(os.Stderr, "smoke: submit -> stream -> drain OK")
+}

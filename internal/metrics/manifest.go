@@ -42,6 +42,11 @@ type Manifest struct {
 	WallNs int64 `json:"wall_ns"`
 	// Config records the effective flag/option values of the run.
 	Config map[string]string `json:"config,omitempty"`
+	// Interrupted marks a run that was stopped by a signal before every
+	// selected experiment finished: the manifest records only the completed
+	// portion, and an attached checkpoint store holds the finished cells
+	// for a -resume run to replay.
+	Interrupted bool `json:"interrupted,omitempty"`
 	// Metrics is the run's registry snapshot.
 	Metrics *Snapshot `json:"metrics,omitempty"`
 	// Counters holds auxiliary counter sets (fault engine, run report).

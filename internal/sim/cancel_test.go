@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// TestStepCancelPanicsCancelled pins the cooperative-cancellation hook: once
+// Config.Cancel reports true, the next Step panics with the Cancelled
+// sentinel carrying the tick it stopped at, and no further slot work runs.
+func TestStepCancelPanicsCancelled(t *testing.T) {
+	cfg := lineConfig()
+	fired := false
+	cfg.Cancel = func() bool { return fired }
+	s := newSim(t, cfg, nil)
+	s.Step() // Cancel not fired yet: steps normally
+
+	fired = true
+	defer func() {
+		p := recover()
+		c, ok := p.(Cancelled)
+		if !ok {
+			t.Fatalf("expected Cancelled panic, got %v", p)
+		}
+		if c.Tick != 1 {
+			t.Fatalf("Cancelled.Tick = %d, want 1", c.Tick)
+		}
+		if want := "sim: run cancelled at tick 1"; c.String() != want {
+			t.Fatalf("Cancelled.String() = %q, want %q", c.String(), want)
+		}
+	}()
+	s.Step()
+	t.Fatal("Step returned despite Cancel firing")
+}
+
+// TestStepNilCancelUnaffected pins that the hook is optional: a nil Cancel
+// adds no behaviour (the historical configuration keeps working).
+func TestStepNilCancelUnaffected(t *testing.T) {
+	s := newSim(t, lineConfig(), nil)
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if s.Tick() != 5 {
+		t.Fatalf("tick = %d, want 5", s.Tick())
+	}
+}

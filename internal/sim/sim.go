@@ -108,6 +108,28 @@ type Config struct {
 	// simulations — every update is a commutative integer operation, so
 	// merged snapshots stay deterministic under concurrent runs.
 	Metrics *metrics.Registry
+	// Cancel, when non-nil, is polled at the top of every Step; once it
+	// reports true the step panics with a Cancelled sentinel instead of
+	// running the slot. This is the cooperative cancellation hook the
+	// experiment grid threads from its per-cell contexts (see
+	// internal/experiment): it is what lets a deadline or drain actually
+	// stop a running simulation rather than abandon its goroutine. The
+	// callback must be cheap and safe to call every tick.
+	Cancel func() bool
+}
+
+// Cancelled is the panic value Step raises when Config.Cancel reports
+// cancellation. It deliberately unwinds through protocol code — a cancelled
+// simulation has no consistent result to return — and is recovered by the
+// driver that installed the Cancel hook (the experiment grid treats it as a
+// cancelled cell, never as a protocol bug).
+type Cancelled struct {
+	// Tick is the tick at which cancellation was observed.
+	Tick int
+}
+
+func (c Cancelled) String() string {
+	return fmt.Sprintf("sim: run cancelled at tick %d", c.Tick)
 }
 
 // Sim is a running simulation. It is not safe for concurrent use.

@@ -179,8 +179,13 @@ func (vw *slotView) isTransmitter(w int) bool {
 	return false
 }
 
-// Step advances the simulation by one tick (one slot).
+// Step advances the simulation by one tick (one slot). With Config.Cancel
+// set, a step that observes cancellation panics with a Cancelled sentinel
+// before doing any slot work (see Cancelled).
 func (s *Sim) Step() {
+	if s.cfg.Cancel != nil && s.cfg.Cancel() {
+		panic(Cancelled{Tick: s.tick})
+	}
 	slot := s.tick % s.slots
 	inj := s.cfg.Injector
 	if inj != nil {

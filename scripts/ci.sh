@@ -55,6 +55,13 @@ go test -race -short -timeout 10m -run 'TestResumeByteIdentical|TestCheckpointPa
 # differential test (all experiments, Workers 1 and 8) explicitly.
 go test -race -timeout 10m ./internal/trace
 go test -race -timeout 10m -run 'TestTraceDualFormatAllExperiments' ./internal/experiment
+# The jobs daemon multiplexes journal writes, checkpoint access and event
+# fan-out across pool workers and HTTP handlers; race the whole package
+# explicitly (includes the submission-flood and SIGKILL/restart tests).
+go test -race -timeout 10m ./internal/jobs
+# End-to-end daemon smoke: build the real udwnd binary, submit a job over
+# HTTP, stream its events to DONE, then SIGTERM and require a clean drain.
+UDWND_SMOKE=1 go test -timeout 5m -run '^TestDaemonBinarySmoke$' ./internal/jobs
 
 # Native fuzz targets, 10 seconds each: the journal frame decoder against
 # arbitrary bytes, and the grid index against its brute-force oracle. The
@@ -74,7 +81,7 @@ baseline=scripts/coverage_baseline.txt
 covdir=$(mktemp -d)
 trap 'rm -rf "$covdir"' EXIT
 declare -A measured
-for pkg in internal/experiment internal/checkpoint internal/sim internal/trace; do
+for pkg in internal/experiment internal/checkpoint internal/sim internal/trace internal/jobs; do
   out=$(go test -short -timeout 10m -coverprofile="$covdir/$(basename "$pkg").cov" "./$pkg")
   pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' | tail -1)
   if [ -z "$pct" ]; then
@@ -91,7 +98,7 @@ if [ "$update_coverage" = 1 ]; then
     echo "# Statement-coverage floors (percent) for scripts/ci.sh."
     echo "# Regenerate with: scripts/ci.sh -update-coverage"
     echo "# Floor = measured - 1.0 to absorb scheduling-dependent branches."
-    for pkg in internal/experiment internal/checkpoint internal/sim internal/trace; do
+    for pkg in internal/experiment internal/checkpoint internal/sim internal/trace internal/jobs; do
       awk -v p="$pkg" -v m="${measured[$pkg]}" 'BEGIN{printf "%s %.1f\n", p, m-1.0}'
     done
   } > "$baseline"

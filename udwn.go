@@ -213,6 +213,11 @@ type SimOptions struct {
 	// work counters with Metrics (off by default to keep existing snapshot
 	// instrument sets stable).
 	IndexMetrics bool
+	// Cancel, when non-nil, is polled at the top of every simulation step;
+	// once it reports true the step panics with a sim.Cancelled sentinel,
+	// cooperatively stopping the run (the experiment grid installs this
+	// from its per-cell contexts and recovers the sentinel).
+	Cancel func() bool
 }
 
 // NewSim constructs a simulator over the network.
@@ -239,6 +244,7 @@ func (nw *Network) NewSim(factory sim.ProtocolFactory, o SimOptions) (*sim.Sim, 
 		Injector:      o.Injector,
 		Metrics:       o.Metrics,
 		IndexMetrics:  o.IndexMetrics,
+		Cancel:        o.Cancel,
 	}
 	s, err := sim.New(cfg, factory)
 	if err != nil {
