@@ -7,23 +7,31 @@
 // percentiles, the contention distribution, a transmissions timeline,
 // fault-event correlation and the busiest transmitters.
 //
-// With -counters it instead renders the trace's aggregate sensing and
-// decode counters in the metrics layer's format. With -checkpoint DIR it
-// inspects an experiment checkpoint store instead of a trace: per-experiment
-// record counts, journal health and the store's content hash.
+// With -query the analysis is restricted to the events a trace query
+// selects (the internal/trace grammar, e.g. 'node=3&tick=100-200&decodes');
+// over an indexed binary trace the planner seeks past non-matching frames
+// and reports how much of the file it skipped. -slice additionally writes
+// the selected events as a valid sub-trace (binary by default, or
+// -slice-format jsonl). With -counters it renders aggregate sensing and
+// decode counters instead of the analytics report. With -checkpoint DIR it
+// inspects an experiment checkpoint store instead of a trace.
 //
 // Usage:
 //
-//	traceinfo [-buckets N] [-top K] [-counters] run.trace
+//	traceinfo [-buckets N] [-top K] [-counters] [-allow-torn]
+//	          [-query EXPR] [-slice OUT [-slice-format binary|jsonl]] run.trace
 //	traceinfo -checkpoint DIR
 //
 // A binary trace with a torn tail (a run killed mid-write) is decoded up to
-// the longest valid frame prefix and the truncation is reported; a binary
+// the longest valid frame prefix; traceinfo reports the truncation and
+// exits non-zero unless -allow-torn accepts the recovered prefix. An empty
+// or header-only file is a distinct, clearly reported error, and a binary
 // trace written under a different event schema fails fast instead of
 // mis-decoding.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +39,7 @@ import (
 
 	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
+	"udwn/internal/sim"
 	"udwn/internal/trace"
 )
 
@@ -46,6 +55,10 @@ func run() error {
 	top := flag.Int("top", 5, "how many of the busiest transmitters to list (negative = none)")
 	counters := flag.Bool("counters", false, "render aggregate sensing/decode counters instead of the analytics report")
 	checkpointDir := flag.String("checkpoint", "", "inspect an experiment checkpoint store directory instead of a trace")
+	query := flag.String("query", "", "restrict to events matching a trace query, e.g. 'node=3&tick=100-200'")
+	slicePath := flag.String("slice", "", "write the selected events as a valid sub-trace to this file")
+	sliceFormat := flag.String("slice-format", "binary", "sub-trace format for -slice: binary or jsonl")
+	allowTorn := flag.Bool("allow-torn", false, "accept a torn trace: analyze the recovered prefix and exit 0")
 	flag.Parse()
 	if *checkpointDir != "" {
 		if flag.NArg() != 0 {
@@ -54,39 +67,136 @@ func run() error {
 		return reportCheckpoint(os.Stdout, *checkpointDir)
 	}
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] [-counters] <trace file>")
+		return fmt.Errorf("usage: traceinfo [-buckets N] [-top K] [-counters] [-query EXPR] [-slice OUT] <trace file>")
+	}
+	pred, err := trace.ParseQuery(*query)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	events, format, err := trace.Open(f)
-	if err != nil {
-		return err
-	}
-	if *counters {
-		return reportCounters(os.Stdout, events)
-	}
+
 	a := trace.NewAnalyzer()
 	a.Buckets = *buckets
 	a.Top = *top
-	for {
-		ev, err := events.Next()
-		if err == io.EOF {
-			break
+	tallies := metrics.NewCounters()
+	observe := func(ev sim.SlotEvent) {
+		if *counters {
+			countEvent(tallies, ev)
+		} else {
+			a.Observe(ev)
 		}
-		if err != nil {
-			return err
-		}
-		a.Observe(ev)
 	}
-	fmt.Printf("format: %s\n", format)
-	if br, ok := events.(*trace.Reader); ok && br.Truncated() {
-		fmt.Printf("recovered: trace has a torn tail; decoded the longest valid prefix (%d events)\n", br.Decoded())
+
+	var torn bool
+	var decoded int
+	if *query != "" || *slicePath != "" {
+		var slicer trace.Writer
+		var sliceFile *os.File
+		if *slicePath != "" {
+			switch *sliceFormat {
+			case "binary", "jsonl":
+			default:
+				return fmt.Errorf("unknown -slice-format %q (want binary or jsonl)", *sliceFormat)
+			}
+			sliceFile, err = os.Create(*slicePath)
+			if err != nil {
+				return err
+			}
+			defer sliceFile.Close()
+			if *sliceFormat == "binary" {
+				bw := trace.NewBinary(sliceFile)
+				bw.KeepSilent = true
+				slicer = bw
+			} else {
+				jw := trace.NewJSONL(sliceFile)
+				jw.KeepSilent = true
+				slicer = jw
+			}
+		}
+		st, err := trace.Query(f, pred, func(ev sim.SlotEvent) error {
+			if slicer != nil {
+				slicer.Record(ev)
+			}
+			observe(ev)
+			return nil
+		})
+		if err != nil {
+			return describeTraceErr(err)
+		}
+		mode := "indexed"
+		if st.FullScan {
+			mode = "full scan"
+		}
+		expr := pred.String()
+		if expr == "" {
+			expr = "(all)"
+		}
+		fmt.Printf("query: %s (%s)\n", expr, mode)
+		fmt.Printf("selected %d event(s); scanned %d frame(s)/%d byte(s), skipped %d frame(s)/%d byte(s)\n",
+			st.EventsMatched, st.FramesScanned, st.BytesScanned, st.FramesSkipped, st.BytesSkipped)
+		if slicer != nil {
+			if err := slicer.Flush(); err != nil {
+				return err
+			}
+			if err := sliceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("slice: wrote %d event(s) to %s (%s)\n", slicer.Events(), *slicePath, *sliceFormat)
+		}
+		torn = st.Truncated
+		decoded = int(st.EventsMatched)
+	} else {
+		events, format, err := trace.Open(f)
+		if err != nil {
+			return describeTraceErr(err)
+		}
+		for {
+			ev, err := events.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			observe(ev)
+		}
+		fmt.Printf("format: %s\n", format)
+		if br, ok := events.(*trace.Reader); ok && br.Truncated() {
+			torn = true
+			decoded = br.Decoded()
+		}
+	}
+
+	if torn {
+		fmt.Printf("recovered: trace has a torn tail; decoded the longest valid prefix (%d events)\n", decoded)
+		if !*allowTorn {
+			return errors.New("trace has a torn tail (the writer was killed mid-frame); re-run with -allow-torn to accept the recovered prefix")
+		}
+	}
+	if *counters {
+		reportCounters(os.Stdout, tallies)
+		return nil
 	}
 	a.Report(os.Stdout)
 	return nil
+}
+
+// describeTraceErr turns the trace layer's typed open errors into actionable
+// messages; anything else passes through.
+func describeTraceErr(err error) error {
+	switch {
+	case errors.Is(err, trace.ErrEmptyTrace):
+		return fmt.Errorf("%w — the file has no bytes; the recording run likely never started", err)
+	case errors.Is(err, trace.ErrHeaderOnly):
+		return fmt.Errorf("%w — only the 12-byte header was written; the run died before flushing any frame", err)
+	case errors.Is(err, trace.ErrTruncatedHeader):
+		return fmt.Errorf("%w — the file ends inside the file header; the write was torn at creation", err)
+	}
+	return err
 }
 
 // reportCheckpoint summarises a cell-result store: record counts per
@@ -124,33 +234,26 @@ func reportCheckpoint(w *os.File, dir string) error {
 	return nil
 }
 
-// reportCounters streams the per-slot tallies of the trace into the same
-// named counters the simulator's metrics registry records live (sim/tx,
-// sim/decodes, sensing outcomes), so a recorded trace can be summarised in
-// the format of a -manifest metric snapshot. Recorders skip silent slots,
-// so sim/slots counts *active* slots here, not total ticks.
-func reportCounters(w *os.File, events trace.EventReader) error {
-	c := metrics.NewCounters()
-	for {
-		ev, err := events.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		c.Add("sim/slots", 1)
-		c.Add("sim/tx", int64(len(ev.Transmitters)))
-		c.Add("sim/decodes", int64(ev.Decodes))
-		c.Add("sim/mass_deliveries", int64(len(ev.MassDeliverers)))
-		c.Add("sim/cd_busy", int64(ev.CDBusy))
-		c.Add("sim/cd_idle", int64(ev.CDIdle))
-		c.Add("sim/ack", int64(ev.Acks))
-		c.Add("sim/ntd", int64(ev.NTDs))
-		c.Add("sim/seized_tx", int64(ev.Seized))
-	}
+// countEvent streams one slot event's tallies into the same named counters
+// the simulator's metrics registry records live (sim/tx, sim/decodes,
+// sensing outcomes). Recorders skip silent slots, so sim/slots counts
+// *active* slots here, not total ticks.
+func countEvent(c *metrics.Counters, ev sim.SlotEvent) {
+	c.Add("sim/slots", 1)
+	c.Add("sim/tx", int64(len(ev.Transmitters)))
+	c.Add("sim/decodes", int64(ev.Decodes))
+	c.Add("sim/mass_deliveries", int64(len(ev.MassDeliverers)))
+	c.Add("sim/cd_busy", int64(ev.CDBusy))
+	c.Add("sim/cd_idle", int64(ev.CDIdle))
+	c.Add("sim/ack", int64(ev.Acks))
+	c.Add("sim/ntd", int64(ev.NTDs))
+	c.Add("sim/seized_tx", int64(ev.Seized))
+}
+
+// reportCounters renders the accumulated tallies in the format of a
+// -manifest metric snapshot.
+func reportCounters(w *os.File, c *metrics.Counters) {
 	for _, name := range c.Names() {
 		fmt.Fprintf(w, "counter %s = %d\n", name, c.Get(name))
 	}
-	return nil
 }

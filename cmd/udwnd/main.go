@@ -10,9 +10,15 @@
 //
 // Submit work and watch it:
 //
-//	curl -s localhost:8080/jobs -d '{"experiments":["table1"],"quick":true}'
+//	curl -s localhost:8080/jobs -d '{"experiments":["table1"],"quick":true,"trace":true}'
 //	curl -N localhost:8080/jobs/j-000001/events
 //	curl -s localhost:8080/jobs/j-000001/result
+//
+// Introspect the pool and query a traced job's recorded events (the
+// internal/trace query grammar; stats come back as X-Trace-* headers):
+//
+//	curl -s localhost:8080/statusz
+//	curl -s 'localhost:8080/jobs/j-000001/trace?query=node=3&tick=100-200&format=jsonl'
 //
 // On SIGTERM the daemon stops accepting (readyz flips to 503), lets running
 // jobs finish for -drain-grace, cancels the stragglers' grids (their

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"udwn/internal/sim"
+	"udwn/internal/trace"
+)
+
+// experimentPredicates derives a query set from a decoded stream: a node that
+// actually appears, a ~10% tick window, the event-kind flags and a compound
+// of all three, so every experiment exercises each planner pruning axis
+// against its own trace.
+func experimentPredicates(events []sim.SlotEvent) []trace.Predicate {
+	minT, maxT := events[0].Tick, events[0].Tick
+	node := -1
+	for _, ev := range events {
+		if ev.Tick < minT {
+			minT = ev.Tick
+		}
+		if ev.Tick > maxT {
+			maxT = ev.Tick
+		}
+		if node < 0 && len(ev.Transmitters) > 0 {
+			node = ev.Transmitters[0]
+		}
+	}
+	window := (maxT-minT)/10 + 1
+	preds := []trace.Predicate{
+		{},
+		{MinTick: minT, MaxTick: minT + window},
+		{Decodes: true},
+		{Role: trace.RoleMass},
+	}
+	if node >= 0 {
+		preds = append(preds,
+			trace.Predicate{Nodes: []int{node}},
+			trace.Predicate{Nodes: []int{node}, Role: trace.RoleTx, MinTick: minT, MaxTick: minT + window},
+		)
+	}
+	return preds
+}
+
+// TestQueryScanEquivalenceAllExperiments closes the loop from the paper's
+// experiment grids to the query engine: every experiment's quick grid is
+// recorded as an indexed binary trace (at Workers=1 and on a concurrent
+// grid), and for a set of predicates derived from each trace the indexed
+// query must return exactly the events a predicate filter over the full
+// decode selects — and the same again through the indexless fallback path.
+func TestQueryScanEquivalenceAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query equivalence suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					var buf bytes.Buffer
+					bw := trace.NewBinary(&buf)
+
+					o := QuickOptions()
+					o.Workers = workers
+					o.Observer = trace.LockedObserver(bw)
+					_ = e.Run(o)
+					if err := bw.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if bw.Events() == 0 {
+						t.Fatal("experiment emitted no slot events; the comparison is vacuous")
+					}
+					data := buf.Bytes()
+
+					all, _, err := trace.ReadEvents(bytes.NewReader(data))
+					if err != nil {
+						t.Fatalf("full decode: %v", err)
+					}
+
+					for _, pred := range experimentPredicates(all) {
+						pred := pred
+						var want []sim.SlotEvent
+						for _, ev := range all {
+							if pred.Match(ev) {
+								want = append(want, ev)
+							}
+						}
+
+						got, st, err := trace.QueryAll(bytes.NewReader(data), pred)
+						if err != nil {
+							t.Fatalf("query %q: %v", pred.String(), err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("query %q: indexed query returned %d events, filter over full decode %d",
+								pred.String(), len(got), len(want))
+						}
+						if st.FullScan {
+							t.Fatalf("query %q: planner fell back to full scan on an indexed trace", pred.String())
+						}
+						if st.EventsMatched != int64(len(want)) {
+							t.Fatalf("query %q: stats report %d matched events, want %d",
+								pred.String(), st.EventsMatched, len(want))
+						}
+
+						// The same query over a non-seekable stream must take
+						// the fallback scan and still agree.
+						fgot, fst, err := trace.QueryAll(struct{ io.Reader }{bytes.NewReader(data)}, pred)
+						if err != nil {
+							t.Fatalf("fallback query %q: %v", pred.String(), err)
+						}
+						if !fst.FullScan {
+							t.Fatalf("fallback query %q: expected FullScan stats", pred.String())
+						}
+						ga, _ := json.Marshal(got)
+						fa, _ := json.Marshal(fgot)
+						if !bytes.Equal(ga, fa) {
+							t.Fatalf("query %q: indexed and fallback results diverge (%d vs %d events)",
+								pred.String(), len(got), len(fgot))
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,15 +1,18 @@
 package jobs
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 
 	"udwn/internal/checkpoint"
 	"udwn/internal/metrics"
+	"udwn/internal/trace"
 )
 
 // The HTTP/JSON surface of the daemon. Routes:
@@ -20,9 +23,18 @@ import (
 //	DELETE /jobs/{id}        cancel           → 200 JobView | 404 | 409
 //	GET    /jobs/{id}/result terminal output  → 200 text | 404 | 409 | 202
 //	GET    /jobs/{id}/events live SSE stream  → 200 text/event-stream | 404
+//	GET    /jobs/{id}/trace  query the job's recorded trace
+//	                         → 200 sub-trace | 400 | 404
 //	GET    /healthz          liveness         → 200 always
 //	GET    /readyz           readiness        → 200 | 503 while draining
 //	GET    /metricsz         counters + checkpoint stats → 200 JSON
+//	GET    /statusz          per-worker state + queue pressure → 200 JSON
+//
+// /jobs/{id}/trace serves the sub-trace a query (internal/trace grammar, e.g.
+// ?query=node=3&tick=100-200) selects from a Spec.Trace job's recorded binary
+// trace, re-encoded as a valid trace in ?format=binary (default) or jsonl.
+// The planner's counters ride along as X-Trace-* headers, and a trace still
+// being written answers from its last flushed prefix (X-Trace-Truncated).
 //
 // Error responses are JSON: {"error": "..."}.
 
@@ -35,9 +47,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return mux
 }
 
@@ -173,6 +187,76 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace answers a query over a job's recorded trace with a valid
+// sub-trace. The planner's work counters go out as X-Trace-* headers (the
+// sub-trace is buffered first, so the stats are complete before the status
+// line) and accumulate in the daemon registry under trace/query/*.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	path, err := s.TraceFile(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		s.httpError(w, err)
+		return
+	}
+	pred, err := trace.ParseQuery(r.URL.Query().Get("query"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var buf bytes.Buffer
+	var tw trace.Writer
+	contentType := "application/octet-stream"
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "binary":
+		bw := trace.NewBinary(&buf)
+		bw.KeepSilent = true
+		tw = bw
+	case "jsonl":
+		jw := trace.NewJSONL(&buf)
+		jw.KeepSilent = true
+		tw = jw
+		contentType = "application/x-ndjson"
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("jobs: unknown trace format %q (want binary or jsonl)", format))
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer f.Close()
+	st, err := trace.Slice(f, pred, tw)
+	if err != nil {
+		if errors.Is(err, trace.ErrEmptyTrace) || errors.Is(err, trace.ErrHeaderOnly) {
+			// The attempt created the file but has not flushed a frame yet.
+			writeError(w, http.StatusNotFound, fmt.Errorf("jobs: trace has no events yet: %w", err))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st.AddTo(s.reg)
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("X-Trace-Frames-Scanned", strconv.FormatInt(st.FramesScanned, 10))
+	h.Set("X-Trace-Frames-Skipped", strconv.FormatInt(st.FramesSkipped, 10))
+	h.Set("X-Trace-Bytes-Scanned", strconv.FormatInt(st.BytesScanned, 10))
+	h.Set("X-Trace-Bytes-Skipped", strconv.FormatInt(st.BytesSkipped, 10))
+	h.Set("X-Trace-Events-Matched", strconv.FormatInt(st.EventsMatched, 10))
+	h.Set("X-Trace-Full-Scan", strconv.FormatBool(st.FullScan))
+	h.Set("X-Trace-Truncated", strconv.FormatBool(st.Truncated))
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -79,6 +79,11 @@ type Spec struct {
 	// Seed keys the retry backoff jitter, making the supervisor's delay
 	// sequence a pure function of the submission.
 	Seed uint64 `json:"seed,omitempty"`
+	// Trace records the job's slot events as an indexed binary trace under
+	// the daemon state directory, served (and queried) by
+	// GET /jobs/{id}/trace. Each attempt rewrites the file, so the trace
+	// always reflects the attempt that produced the job's output.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // weight is the spec's admission cost against the server's in-flight

@@ -3,12 +3,14 @@ package jobs
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
 	"udwn/internal/checkpoint"
 	"udwn/internal/experiment"
 	"udwn/internal/metrics"
+	"udwn/internal/trace"
 )
 
 // RunContext carries the per-attempt environment the server hands a Runner:
@@ -25,6 +27,11 @@ type RunContext struct {
 	Metrics *metrics.Registry
 	// Progress receives grid progress; may be nil.
 	Progress func(experiment.Progress)
+	// TracePath, when non-empty, asks the runner to record the attempt's
+	// slot events as an indexed binary trace at that path (set by the server
+	// for Spec.Trace jobs). The framed format keeps every flushed prefix
+	// readable, so the file is queryable while the attempt is still running.
+	TracePath string
 }
 
 // Runner executes one job attempt and returns the rendered output. An error
@@ -59,6 +66,25 @@ func ExperimentRunner(gridWorkers int, cellTimeout time.Duration, cellRetries in
 			Progress:    rc.Progress,
 			Context:     ctx,
 			HardCancel:  true,
+		}
+		if rc.TracePath != "" {
+			f, ferr := os.Create(rc.TracePath)
+			if ferr != nil {
+				return "", fmt.Errorf("jobs: create trace: %w", ferr)
+			}
+			bw := trace.NewBinary(f)
+			o.Observer = trace.LockedObserver(bw)
+			// Declared before the recover below, so this runs after it: the
+			// trace flushes even when the grid is cancelled mid-attempt,
+			// leaving a valid (torn-tail-recoverable) prefix on disk.
+			defer func() {
+				if fe := bw.Flush(); fe != nil && err == nil {
+					err = fmt.Errorf("jobs: flush trace: %w", fe)
+				}
+				if ce := f.Close(); ce != nil && err == nil {
+					err = fmt.Errorf("jobs: close trace: %w", ce)
+				}
+			}()
 		}
 		defer func() {
 			switch p := recover().(type) {

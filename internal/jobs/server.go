@@ -182,6 +182,7 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string
 	queue    []*job
+	working  []*job // per-worker slot: the job each pool worker is on (nil = idle)
 	weight   int
 	seq      int
 	draining bool
@@ -205,6 +206,9 @@ func Open(cfg Config) (*Server, error) {
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: create dir: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "traces"), 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create traces dir: %w", err)
 	}
 	store, err := checkpoint.Resume(filepath.Join(cfg.Dir, "cells"))
 	if err != nil {
@@ -243,9 +247,10 @@ func Open(cfg Config) (*Server, error) {
 		s.reg.Counter("jobs/resumed").Inc()
 	}
 
+	s.working = make([]*job, cfg.Workers)
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go s.worker()
+		go s.worker(w)
 	}
 	return s, nil
 }
@@ -298,6 +303,102 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // JournalTornBytes reports how many torn journal bytes Open's recovery
 // dropped (0 for a clean start).
 func (s *Server) JournalTornBytes() int64 { return s.ledger.tornBytes() }
+
+// tracePath is where a Spec.Trace job's binary trace lives.
+func (s *Server) tracePath(id string) string {
+	return filepath.Join(s.cfg.Dir, "traces", id+".utb")
+}
+
+// TraceFile resolves a job's recorded trace: ErrNotFound for unknown jobs,
+// *InvalidError when the job was not submitted with Spec.Trace, and
+// os.ErrNotExist (wrapped) when tracing is on but no attempt has written the
+// file yet.
+func (s *Server) TraceFile(id string) (string, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var traced bool
+	if ok {
+		traced = j.spec.Trace
+	}
+	s.mu.Unlock()
+	if !ok {
+		return "", ErrNotFound
+	}
+	if !traced {
+		return "", &InvalidError{Reason: fmt.Sprintf("job %s was not submitted with trace recording", id)}
+	}
+	path := s.tracePath(id)
+	if _, err := os.Stat(path); err != nil {
+		return "", fmt.Errorf("jobs: trace for %s not recorded yet: %w", id, err)
+	}
+	return path, nil
+}
+
+// WorkerStatus is one pool worker's slot in the /statusz view.
+type WorkerStatus struct {
+	Worker int `json:"worker"`
+	// Idle means the worker is waiting for the queue; the remaining fields
+	// are zero.
+	Idle bool   `json:"idle"`
+	Job  string `json:"job,omitempty"`
+	// State is the job's current lifecycle state (RUNNING, or BACKOFF while
+	// the worker waits out a retry delay).
+	State   State `json:"state,omitempty"`
+	Attempt int   `json:"attempt,omitempty"`
+	// Progress is the job's last grid progress: which experiment the worker
+	// is inside and its done/total/failed cell counts.
+	Progress *ProgressView `json:"progress,omitempty"`
+}
+
+// StatusView is the /statusz body: per-worker occupancy, queue pressure
+// against the admission limits, job counts by state, and the shedding/intake
+// counters — the one-page answer to "what is the daemon doing right now".
+type StatusView struct {
+	Draining   bool             `json:"draining"`
+	Workers    []WorkerStatus   `json:"workers"`
+	QueueDepth int              `json:"queue_depth"`
+	QueueCap   int              `json:"queue_cap"`
+	Weight     int              `json:"weight"`
+	MaxWeight  int              `json:"max_weight"`
+	Jobs       map[State]int    `json:"jobs"`
+	Counters   map[string]int64 `json:"counters"`
+}
+
+// Status snapshots the pool for /statusz.
+func (s *Server) Status() StatusView {
+	s.mu.Lock()
+	v := StatusView{
+		Draining:   s.draining,
+		Workers:    make([]WorkerStatus, len(s.working)),
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		Weight:     s.weight,
+		MaxWeight:  s.cfg.MaxWeight,
+		Jobs:       make(map[State]int),
+	}
+	for w, j := range s.working {
+		ws := WorkerStatus{Worker: w, Idle: j == nil}
+		if j != nil {
+			ws.Job = j.id
+			ws.State = j.state
+			ws.Attempt = j.attempts
+			if j.prog != nil {
+				p := *j.prog
+				ws.Progress = &p
+			}
+		}
+		v.Workers[w] = ws
+	}
+	for _, j := range s.jobs {
+		v.Jobs[j.state]++
+	}
+	s.mu.Unlock()
+	v.Counters = make(map[string]int64, len(counterNames))
+	for _, name := range counterNames {
+		v.Counters[name] = s.reg.CounterValue(name)
+	}
+	return v
+}
 
 // Draining reports whether graceful shutdown has begun (readyz flips on it).
 func (s *Server) Draining() bool {
@@ -487,8 +588,9 @@ func (s *Server) closeSubsLocked(j *job) {
 
 // worker is one pool goroutine: pop, supervise, repeat. Drain stops the
 // popping — queued jobs stay journalled-but-not-terminal, which is exactly
-// the set the next start re-queues.
-func (s *Server) worker() {
+// the set the next start re-queues. Each worker publishes the job it is on
+// through its working slot, the per-worker state /statusz serves.
+func (s *Server) worker(w int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
@@ -501,8 +603,12 @@ func (s *Server) worker() {
 		}
 		j := s.queue[0]
 		s.queue = s.queue[1:]
+		s.working[w] = j
 		s.mu.Unlock()
 		s.supervise(j)
+		s.mu.Lock()
+		s.working[w] = nil
+		s.mu.Unlock()
 	}
 }
 
@@ -582,6 +688,9 @@ func (s *Server) runOnce(j *job, attempt int) (string, error) {
 		Progress: func(p experiment.Progress) {
 			s.progress(j, attempt, p)
 		},
+	}
+	if j.spec.Trace {
+		rc.TracePath = s.tracePath(j.id)
 	}
 	return s.cfg.Runner(dctx, j.spec, rc)
 }

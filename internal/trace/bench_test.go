@@ -93,3 +93,46 @@ func BenchmarkTraceReadJSONL(b *testing.B) {
 func BenchmarkTraceReadBinary(b *testing.B) {
 	benchRead(b, FormatBinary)
 }
+
+// benchQuery measures the query planner over a large indexed trace with the
+// locality structure indexes exploit (each frame covers its own tick range
+// and node neighbourhood). bytes_scanned/bytes_skipped expose how much of
+// the file the planner actually decoded — the prune_x metric is the
+// selective-query speedup claim in checkable form.
+func benchQuery(b *testing.B, pred Predicate) {
+	events := localityEvents(64, 100, 16)
+	data, _ := encodeIndexed(b, events, 100)
+	want := len(filterEvents(events, pred))
+	var last QueryStats
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, st, err := QueryAll(bytes.NewReader(data), pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != want {
+			b.Fatalf("query matched %d of %d expected events", len(got), want)
+		}
+		last = st
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.BytesScanned), "bytes_scanned")
+	b.ReportMetric(float64(last.BytesSkipped), "bytes_skipped")
+	if last.BytesScanned > 0 {
+		b.ReportMetric(float64(last.BytesSkipped+last.BytesScanned)/float64(last.BytesScanned), "prune_x")
+	}
+}
+
+func BenchmarkTraceQueryFullMatch(b *testing.B) {
+	benchQuery(b, Predicate{})
+}
+
+func BenchmarkTraceQuerySingleNode(b *testing.B) {
+	benchQuery(b, Predicate{Nodes: []int{3}})
+}
+
+func BenchmarkTraceQueryTickWindow(b *testing.B) {
+	benchQuery(b, Predicate{MinTick: 2000, MaxTick: 2500})
+}

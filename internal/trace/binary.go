@@ -9,6 +9,13 @@
 //	frame*:  magic "UTF1" | uint32 payload len | uint32 CRC-32C | payload
 //	payload: uvarint event count | count × packed events
 //
+// Unless NoIndex is set, every data frame is preceded — in the same Write —
+// by an index frame ("UTI1", see index.go) summarising it, so queries can
+// seek past frames that cannot match. Index frames are advisory: the Reader
+// CRC-validates and skips them, decoding an indexed file into exactly the
+// event stream of an unindexed one. An index frame's CRC also covers its
+// magic, so a bit flip cannot morph one frame kind into the other undetected.
+//
 // The framing discipline is the one proven in internal/checkpoint: each
 // frame is appended with a single Write call, so a crash (even SIGKILL)
 // tears at most the final frame, and the Reader recovers the longest valid
@@ -61,6 +68,15 @@ var traceCRC = crc32.MakeTable(crc32.Castagnoli)
 // magic (most likely a JSONL trace; use Open to auto-detect).
 var ErrNotBinary = errors.New("trace: not a binary trace (bad file magic)")
 
+// ErrEmptyTrace reports a trace stream with no bytes at all — a run that was
+// killed before its recorder flushed anything, or a wrong path.
+var ErrEmptyTrace = errors.New("trace: empty trace (zero bytes)")
+
+// ErrTruncatedHeader reports a binary trace torn inside its 12-byte header:
+// the file starts with the binary magic but ends before the schema hash is
+// complete, so not even the empty event stream can be recovered.
+var ErrTruncatedHeader = errors.New("trace: binary trace truncated inside the header")
+
 // Binary streams simulator slot events in the framed varint format. Like
 // JSONL, silent slots (no transmissions and no decodes) are skipped unless
 // KeepSilent is set, and errors are sticky and reported by Flush.
@@ -74,7 +90,13 @@ type Binary struct {
 	buf        []byte // packed events of the pending frame
 	count      int    // events packed in buf
 	scratch    []byte // frame assembly buffer, reused across flushes
+	ibuf       []byte // index payload assembly buffer, reused across flushes
+	summary    frameSummary
 	KeepSilent bool
+	// NoIndex suppresses index frames, producing the pre-index file layout
+	// (and the smallest possible file). Queries over such traces fall back
+	// to a full scan.
+	NoIndex bool
 }
 
 // NewBinary returns a recorder writing to w. Nothing reaches w until the
@@ -93,6 +115,9 @@ func (b *Binary) Record(ev sim.SlotEvent) {
 	}
 	b.n++
 	b.count++
+	if !b.NoIndex {
+		b.summary.observe(ev.Tick, ev.Transmitters, ev.MassDeliverers, ev.Decoders, ev.Decodes, ev.Seized)
+	}
 	b.buf = appendEvent(b.buf, ev)
 	if len(b.buf) >= flushPayload {
 		b.flushFrame()
@@ -110,10 +135,16 @@ func (b *Binary) Frames() int64 { return b.frames }
 func (b *Binary) BytesWritten() int64 { return b.bytes }
 
 // flushFrame commits the pending events as one frame with a single Write
-// (preceded, the first time, by the file header in the same Write), so a
-// crash can tear at most this frame.
+// (preceded, the first time, by the file header, and — unless NoIndex — by
+// an index frame summarising this data frame, all in the same Write), so a
+// crash can tear at most this index/data pair.
 func (b *Binary) flushFrame() {
 	if b.err != nil || b.count == 0 {
+		return
+	}
+	payloadLen := uvarintLen(uint64(b.count)) + len(b.buf)
+	if payloadLen > maxFramePayload {
+		b.err = fmt.Errorf("trace: frame payload %d bytes exceeds limit %d", payloadLen, maxFramePayload)
 		return
 	}
 	out := b.scratch[:0]
@@ -121,10 +152,19 @@ func (b *Binary) flushFrame() {
 		out = append(out, fileMagic[:]...)
 		out = binary.LittleEndian.AppendUint64(out, SchemaHash())
 	}
-	payloadLen := uvarintLen(uint64(b.count)) + len(b.buf)
-	if payloadLen > maxFramePayload {
-		b.err = fmt.Errorf("trace: frame payload %d bytes exceeds limit %d", payloadLen, maxFramePayload)
-		return
+	if !b.NoIndex {
+		// The entry's offset is relative to the end of its index frame; the
+		// described data frame follows immediately, hence 0.
+		entry := b.summary.take(0, payloadLen, b.count)
+		b.ibuf = appendIndexPayload(b.ibuf[:0], []indexEntry{entry})
+		if len(b.ibuf) <= maxFramePayload {
+			out = append(out, indexMagic[:]...)
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(b.ibuf)))
+			crc := crc32.Checksum(indexMagic[:], traceCRC)
+			crc = crc32.Update(crc, traceCRC, b.ibuf)
+			out = binary.LittleEndian.AppendUint32(out, crc)
+			out = append(out, b.ibuf...)
+		}
 	}
 	out = append(out, frameMagic[:]...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(payloadLen))
@@ -209,22 +249,34 @@ func appendIDs(buf []byte, ids []int) []byte {
 // prefix is always recovered — a torn tail never poisons earlier frames and
 // never panics the reader.
 type Reader struct {
-	r         io.Reader
-	payload   []byte // current frame payload (after the event count)
-	pos       int
+	r io.Reader
+	payloadDecoder
 	remaining int // events left in the current frame
 	decoded   int
 	truncated bool
 	done      bool
+	// lastIndex tracks whether the previous frame was an index frame: the
+	// writer emits each index frame in the same Write as the data frame it
+	// describes, so a stream that ends right after an index frame is torn.
+	lastIndex bool
 }
 
-// NewReader opens a binary trace. It fails with ErrNotBinary on a wrong
-// file magic, *SchemaMismatchError on a schema hash from a different event
-// layout, and an io error when the stream ends inside the header.
+// NewReader opens a binary trace. It fails with ErrEmptyTrace on an empty
+// stream, ErrNotBinary on a wrong file magic, ErrTruncatedHeader when the
+// stream tears inside the header, and *SchemaMismatchError on a schema hash
+// from a different event layout.
 func NewReader(r io.Reader) (*Reader, error) {
 	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: binary header: %w", err)
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		switch {
+		case n == 0:
+			return nil, ErrEmptyTrace
+		case !bytes.HasPrefix(fileMagic[:], hdr[:min(n, len(fileMagic))]):
+			return nil, ErrNotBinary
+		default:
+			return nil, fmt.Errorf("trace: binary header: %d of %d bytes: %w", n, headerSize, ErrTruncatedHeader)
+		}
 	}
 	if !bytes.Equal(hdr[:4], fileMagic[:]) {
 		return nil, ErrNotBinary
@@ -274,55 +326,83 @@ func (r *Reader) stop(truncated bool) {
 	r.remaining = 0
 }
 
-// nextFrame loads and validates the next frame; false means end of stream
-// (clean or truncated — r.truncated distinguishes).
+// nextFrame loads and validates the next data frame, skipping CRC-valid
+// index frames; false means end of stream (clean or truncated — r.truncated
+// distinguishes).
 func (r *Reader) nextFrame() bool {
-	var hdr [frameHeaderSize]byte
-	n, err := io.ReadFull(r.r, hdr[:])
-	if err == io.EOF && n == 0 {
-		r.stop(false)
-		return false
+	for {
+		var hdr [frameHeaderSize]byte
+		n, err := io.ReadFull(r.r, hdr[:])
+		if err == io.EOF && n == 0 {
+			// A clean end of stream lands after a data frame; an index frame
+			// always has its data frame in the same Write, so ending on one
+			// means the pair was torn.
+			r.stop(r.lastIndex)
+			return false
+		}
+		if err != nil {
+			r.stop(true)
+			return false
+		}
+		isIndex := bytes.Equal(hdr[:4], indexMagic[:])
+		if !isIndex && !bytes.Equal(hdr[:4], frameMagic[:]) {
+			r.stop(true)
+			return false
+		}
+		plen := binary.LittleEndian.Uint32(hdr[4:8])
+		if plen == 0 || plen > maxFramePayload {
+			r.stop(true)
+			return false
+		}
+		if cap(r.payload) < int(plen) {
+			r.payload = make([]byte, plen)
+		}
+		payload := r.payload[:plen]
+		if _, err := io.ReadFull(r.r, payload); err != nil {
+			r.stop(true)
+			return false
+		}
+		want := binary.LittleEndian.Uint32(hdr[8:12])
+		if isIndex {
+			// Index frame CRCs cover the magic too (see index.go); entries
+			// are advisory, so a valid frame is simply skipped here.
+			crc := crc32.Checksum(indexMagic[:], traceCRC)
+			if crc32.Update(crc, traceCRC, payload) != want {
+				r.stop(true)
+				return false
+			}
+			r.payload = payload
+			r.lastIndex = true
+			continue
+		}
+		if crc32.Checksum(payload, traceCRC) != want {
+			r.stop(true)
+			return false
+		}
+		count, n2 := binary.Uvarint(payload)
+		// Each packed event is at least 11 bytes of field varints, but 1 is a
+		// safe lower bound; an impossible count ends the valid prefix.
+		if n2 <= 0 || count > uint64(len(payload)-n2) {
+			r.stop(true)
+			return false
+		}
+		r.payload = payload
+		r.pos = n2
+		r.remaining = int(count)
+		r.lastIndex = false
+		return true
 	}
-	if err != nil {
-		r.stop(true)
-		return false
-	}
-	if !bytes.Equal(hdr[:4], frameMagic[:]) {
-		r.stop(true)
-		return false
-	}
-	plen := binary.LittleEndian.Uint32(hdr[4:8])
-	if plen == 0 || plen > maxFramePayload {
-		r.stop(true)
-		return false
-	}
-	if cap(r.payload) < int(plen) {
-		r.payload = make([]byte, plen)
-	}
-	payload := r.payload[:plen]
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		r.stop(true)
-		return false
-	}
-	if crc32.Checksum(payload, traceCRC) != binary.LittleEndian.Uint32(hdr[8:12]) {
-		r.stop(true)
-		return false
-	}
-	count, n2 := binary.Uvarint(payload)
-	// Each packed event is at least 11 bytes of field varints, but 1 is a
-	// safe lower bound; an impossible count ends the valid prefix.
-	if n2 <= 0 || count > uint64(len(payload)-n2) {
-		r.stop(true)
-		return false
-	}
-	r.payload = payload
-	r.pos = n2
-	r.remaining = int(count)
-	return true
+}
+
+// payloadDecoder unpacks packed events from one data-frame payload; shared
+// by the streaming Reader and the query executor (query.go).
+type payloadDecoder struct {
+	payload []byte
+	pos     int
 }
 
 // decodeEvent unpacks one event from the current frame payload.
-func (r *Reader) decodeEvent() (sim.SlotEvent, bool) {
+func (r *payloadDecoder) decodeEvent() (sim.SlotEvent, bool) {
 	var ev sim.SlotEvent
 	var ok bool
 	if ev.Tick, ok = r.uvarint(); !ok {
@@ -361,7 +441,7 @@ func (r *Reader) decodeEvent() (sim.SlotEvent, bool) {
 	return ev, true
 }
 
-func (r *Reader) uvarint() (int, bool) {
+func (r *payloadDecoder) uvarint() (int, bool) {
 	v, n := binary.Uvarint(r.payload[r.pos:])
 	if n <= 0 || v > math.MaxInt64 {
 		return 0, false
@@ -372,7 +452,7 @@ func (r *Reader) uvarint() (int, bool) {
 
 // ids decodes a length-prefixed id list; a zero count yields nil, matching
 // the canonical (Canonicalize) representation.
-func (r *Reader) ids() ([]int, bool) {
+func (r *payloadDecoder) ids() ([]int, bool) {
 	count, n := binary.Uvarint(r.payload[r.pos:])
 	if n <= 0 {
 		return nil, false

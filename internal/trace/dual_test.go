@@ -88,14 +88,11 @@ type dualScenario struct {
 	prims    sim.Primitives
 }
 
-// TestBinaryJSONLEquivalence is the differential dual-format suite: each
-// scenario's run is recorded once, with the observer teeing every event
-// into a JSONL recorder and a binary recorder, and the two decodings must
-// be byte-for-byte identical after normalization. JSONL is the reference
-// implementation; any packing bug in the binary path shows up as a diverged
-// stream.
-func TestBinaryJSONLEquivalence(t *testing.T) {
-	scenarios := []dualScenario{
+// dualScenarioMatrix is the shared scenario matrix of the trace-layer
+// differential suites (dual-format equivalence here, query/scan equivalence
+// in query_test.go).
+func dualScenarioMatrix() []dualScenario {
+	return []dualScenario{
 		{name: "udg", n: 180, ticks: 150, seed: 1,
 			model: func() model.Model { return model.NewUDG(10) },
 			prims: sim.CD | sim.ACK | sim.NTD},
@@ -119,48 +116,64 @@ func TestBinaryJSONLEquivalence(t *testing.T) {
 			model: func() model.Model { return model.NewUDG(10) },
 			prims: sim.CD | sim.ACK | sim.NTD},
 	}
-	for _, sc := range scenarios {
+}
+
+// runDualScenario runs one matrix cell's simulation, feeding every slot
+// event to observe.
+func runDualScenario(t testing.TB, sc dualScenario, observe func(sim.SlotEvent)) {
+	t.Helper()
+	side := workload.SideForDegree(sc.n, 12, 10)
+	pts := workload.UniformDisc(sc.n, side, sc.seed)
+	cfg := sim.Config{
+		Space: metric.NewEuclidean(pts),
+		Model: sc.model(),
+		P:     1500, Zeta: 3, Noise: 1, Eps: 0.1,
+		Seed:       sc.seed,
+		Primitives: sc.prims,
+		Channels:   sc.channels,
+		Observer:   observe,
+	}
+	if sc.inject {
+		cfg.Injector = &dualInjector{seed: sc.seed ^ 0xfa017}
+	}
+	s, err := sim.New(cfg, func(int) sim.Protocol {
+		return &dualProto{p: 0.05, nchan: sc.channels}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := rng.New(sc.seed ^ 0xd21f)
+	for i := 0; i < sc.ticks; i++ {
+		if sc.churn {
+			if drv.Bernoulli(0.08) {
+				s.Kill(drv.Intn(sc.n))
+			}
+			if drv.Bernoulli(0.08) {
+				s.Revive(drv.Intn(sc.n))
+			}
+		}
+		s.Step()
+	}
+}
+
+// TestBinaryJSONLEquivalence is the differential dual-format suite: each
+// scenario's run is recorded once, with the observer teeing every event
+// into a JSONL recorder and a binary recorder, and the two decodings must
+// be byte-for-byte identical after normalization. JSONL is the reference
+// implementation; any packing bug in the binary path shows up as a diverged
+// stream.
+func TestBinaryJSONLEquivalence(t *testing.T) {
+	for _, sc := range dualScenarioMatrix() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			var jb, bb bytes.Buffer
 			jw := NewJSONL(&jb)
 			bw := NewBinary(&bb)
 
-			side := workload.SideForDegree(sc.n, 12, 10)
-			pts := workload.UniformDisc(sc.n, side, sc.seed)
-			cfg := sim.Config{
-				Space: metric.NewEuclidean(pts),
-				Model: sc.model(),
-				P:     1500, Zeta: 3, Noise: 1, Eps: 0.1,
-				Seed:       sc.seed,
-				Primitives: sc.prims,
-				Channels:   sc.channels,
-				Observer: func(ev sim.SlotEvent) {
-					jw.Record(ev)
-					bw.Record(ev)
-				},
-			}
-			if sc.inject {
-				cfg.Injector = &dualInjector{seed: sc.seed ^ 0xfa017}
-			}
-			s, err := sim.New(cfg, func(int) sim.Protocol {
-				return &dualProto{p: 0.05, nchan: sc.channels}
+			runDualScenario(t, sc, func(ev sim.SlotEvent) {
+				jw.Record(ev)
+				bw.Record(ev)
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			drv := rng.New(sc.seed ^ 0xd21f)
-			for i := 0; i < sc.ticks; i++ {
-				if sc.churn {
-					if drv.Bernoulli(0.08) {
-						s.Kill(drv.Intn(sc.n))
-					}
-					if drv.Bernoulli(0.08) {
-						s.Revive(drv.Intn(sc.n))
-					}
-				}
-				s.Step()
-			}
 			if err := jw.Flush(); err != nil {
 				t.Fatal(err)
 			}

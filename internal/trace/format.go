@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -83,18 +84,37 @@ type EventReader interface {
 	Next() (sim.SlotEvent, error)
 }
 
+// ErrHeaderOnly reports a structurally valid binary trace that ends right
+// after its 12-byte header: the recorder was flushed before any event was
+// recorded (or the run was killed immediately after opening the trace). The
+// file is well-formed but holds zero events; Open surfaces the condition as
+// a typed error so tools can say so instead of silently reporting nothing.
+var ErrHeaderOnly = errors.New("trace: binary trace holds a valid header but no events")
+
 // Open sniffs the trace format from the stream's first bytes (the binary
-// file magic, else JSONL) and returns a streaming reader over it.
+// file magic, else JSONL) and returns a streaming reader over it. Degenerate
+// inputs fail with typed errors instead of generic decode failures:
+// ErrEmptyTrace for a zero-byte stream, ErrTruncatedHeader for a binary
+// trace torn inside its header, and ErrHeaderOnly for a binary trace with a
+// valid header and no frames.
 func Open(r io.Reader) (EventReader, Format, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(len(fileMagic))
+	// One byte past the header distinguishes a header-only binary trace
+	// (exactly headerSize bytes) from one with at least a partial frame.
+	head, err := br.Peek(headerSize + 1)
 	if err != nil && err != io.EOF {
 		return nil, "", fmt.Errorf("trace: sniff format: %w", err)
 	}
-	if bytes.Equal(head, fileMagic[:]) {
+	if len(head) == 0 {
+		return nil, "", ErrEmptyTrace
+	}
+	if bytes.HasPrefix(head, fileMagic[:]) || bytes.HasPrefix(fileMagic[:], head) {
 		tr, err := NewReader(br)
 		if err != nil {
 			return nil, FormatBinary, err
+		}
+		if len(head) == headerSize {
+			return nil, FormatBinary, ErrHeaderOnly
 		}
 		return tr, FormatBinary, nil
 	}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"udwn/internal/sim"
+)
+
+// fuzzIndexSeeds builds the committed seed corpus of FuzzIndexDecode: each
+// input is one index-frame payload, covering the well-formed cases and one
+// representative per hostile class the decoder must survive.
+func fuzzIndexSeeds(t testing.TB) map[string][]byte {
+	exact := indexEntry{off: 0, plen: 900, events: 30, minTick: 100, maxTick: 180,
+		flags: flagSeized | flagDecodes, exact: []int{3, 7, 1024, 4711}}
+	big := indexEntry{off: 0, plen: 64 << 10, events: 2000, minTick: 0, maxTick: 5000, flags: flagMass}
+	big.bloom = make([]byte, bloomSize(exactMaxIDs+100))
+	for id := 0; id < exactMaxIDs+100; id++ {
+		bloomAdd(big.bloom, id*13)
+	}
+	none := indexEntry{off: 0, plen: 40, events: 1, minTick: 9, maxTick: 9}
+
+	valid := appendIndexPayload(nil, []indexEntry{exact})
+	multi := appendIndexPayload(nil, []indexEntry{exact, big, none})
+
+	newer := binary.AppendUvarint(nil, indexVersion+1)
+	newer = append(newer, valid[1:]...)
+
+	hugeCount := binary.AppendUvarint(nil, indexVersion)
+	hugeCount = binary.AppendUvarint(hugeCount, 1<<40)
+
+	hugeBloom := appendIndexPayload(nil, nil)[:1] // version only
+	hugeBloom = binary.AppendUvarint(hugeBloom, 1)
+	hugeBloom = binary.AppendUvarint(hugeBloom, 0) // off
+	hugeBloom = binary.AppendUvarint(hugeBloom, 8) // plen
+	hugeBloom = binary.AppendUvarint(hugeBloom, 1) // events
+	hugeBloom = binary.AppendUvarint(hugeBloom, 0) // minTick
+	hugeBloom = binary.AppendUvarint(hugeBloom, 0) // span
+	hugeBloom = binary.AppendUvarint(hugeBloom, 0) // flags
+	hugeBloom = binary.AppendUvarint(hugeBloom, 2) // kind: bloom
+	hugeBloom = binary.AppendUvarint(hugeBloom, 1<<30)
+
+	return map[string][]byte{
+		"seed_valid_exact": valid,
+		"seed_valid_multi": multi,
+		"seed_torn":        multi[:len(multi)/2],
+		"seed_newer_ver":   newer,
+		"seed_huge_count":  hugeCount,
+		"seed_huge_bloom":  hugeBloom,
+		"seed_empty":       {},
+	}
+}
+
+// TestFuzzIndexCorpusSeeds keeps the committed FuzzIndexDecode corpus in
+// sync with fuzzIndexSeeds (same -update discipline as TestFuzzCorpusSeeds).
+func TestFuzzIndexCorpusSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzIndexDecode")
+	seeds := fuzzIndexSeeds(t)
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, data := range seeds {
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("corpus seed missing (regenerate with -update): %v", err)
+		}
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if string(body) != want {
+			t.Fatalf("corpus seed %s is stale; regenerate with -update", name)
+		}
+	}
+}
+
+// spliceIndexFrame builds a trace whose first frame is a CRC-valid index
+// frame with the given (arbitrary, possibly hostile) payload, followed by
+// the honestly indexed frames of events.
+func spliceIndexFrame(t testing.TB, payload []byte, events []sim.SlotEvent) []byte {
+	t.Helper()
+	honest, _ := encodeIndexed(t, events, 25)
+	var out bytes.Buffer
+	out.Write(honest[:headerSize])
+	out.Write(indexMagic[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	crc := crc32.Checksum(indexMagic[:], traceCRC)
+	crc = crc32.Update(crc, traceCRC, payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	out.Write(hdr[:])
+	out.Write(payload)
+	out.Write(honest[headerSize:])
+	return out.Bytes()
+}
+
+// FuzzIndexDecode throws arbitrary bytes at the index-frame payload decoder
+// and, spliced as a CRC-valid index frame, at the reader and the query
+// planner. The decoder must never panic or allocate beyond its caps and
+// must round-trip whatever it accepts; the reader must decode the spliced
+// trace exactly like the honest one; and a query planned over the hostile
+// frame must return only events that genuinely match the predicate, each
+// present in the honest decode — a forged index can suppress frames, never
+// fabricate or corrupt events.
+func FuzzIndexDecode(f *testing.F) {
+	for _, data := range fuzzIndexSeeds(f) {
+		f.Add(data)
+	}
+	events := Canonicalize(randomEvents(71, 75))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		entries, err := decodeIndexPayload(payload)
+		if err != nil && entries != nil {
+			t.Fatal("decodeIndexPayload returned entries alongside an error")
+		}
+		if len(entries) > len(payload) {
+			t.Fatalf("%d entries from %d payload bytes", len(entries), len(payload))
+		}
+		for _, e := range entries {
+			if len(e.bloom) > maxBloomBytes {
+				t.Fatalf("bloom of %d bytes exceeds cap %d", len(e.bloom), maxBloomBytes)
+			}
+			if len(e.exact) > len(payload) {
+				t.Fatalf("%d exact ids from %d payload bytes", len(e.exact), len(payload))
+			}
+			if e.maxTick < e.minTick || e.plen > maxFramePayload {
+				t.Fatalf("decoded out-of-contract entry %+v", e)
+			}
+		}
+		if err == nil && entries != nil {
+			back, rerr := decodeIndexPayload(appendIndexPayload(nil, entries))
+			if rerr != nil || !reflect.DeepEqual(back, entries) {
+				t.Fatalf("accepted entries did not round-trip: %v", rerr)
+			}
+		}
+
+		if len(payload) == 0 || len(payload) > maxFramePayload {
+			// Not representable as a frame (the reader rejects plen 0 and
+			// plen > maxFramePayload as torn); the decoder checks above are
+			// the whole property for such inputs.
+			return
+		}
+		spliced := spliceIndexFrame(t, payload, events)
+
+		// The streaming reader ignores index entries entirely: the spliced
+		// trace must decode to exactly the original events.
+		got, _, rerr := ReadEvents(bytes.NewReader(spliced))
+		if rerr != nil {
+			t.Fatalf("spliced trace rejected: %v", rerr)
+		}
+		if !reflect.DeepEqual(Canonicalize(got), events) {
+			t.Fatalf("spliced trace decoded %d of %d events", len(got), len(events))
+		}
+
+		// Vary the predicate with the payload so the fuzzer explores the
+		// planner's pruning branches.
+		h := crc32.Checksum(payload, traceCRC)
+		pred := Predicate{
+			MinTick: int(h % 64),
+			Seized:  h&(1<<8) != 0,
+			Decodes: h&(1<<9) != 0,
+		}
+		if h&(1<<10) != 0 {
+			pred.Nodes = []int{int(h>>16) % 256}
+		}
+		qgot, _, qerr := QueryAll(bytes.NewReader(spliced), pred)
+		if qerr != nil {
+			t.Fatalf("query over spliced trace: %v", qerr)
+		}
+		honest := filterEvents(events, pred)
+		// qgot must be an ordered subsequence of the honest filter result:
+		// never a fabricated, duplicated or non-matching event.
+		j := 0
+		for _, ev := range qgot {
+			if !pred.Match(ev) {
+				t.Fatalf("query returned non-matching event %+v", ev)
+			}
+			for j < len(honest) && !reflect.DeepEqual(honest[j], ev) {
+				j++
+			}
+			if j == len(honest) {
+				t.Fatalf("query returned event not in the honest filter result: %+v", ev)
+			}
+			j++
+		}
+	})
+}

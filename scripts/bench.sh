@@ -14,7 +14,13 @@
 # (BenchmarkTraceWriteJSONL / BenchmarkTraceWriteBinary in
 # internal/trace, plus the Read pair): bytes/event is the on-disk cost of
 # each encoding on a dense trace and the binary format should stay ~3x
-# smaller and several times faster in both directions.
+# smaller and several times faster in both directions. The trace query trio
+# (BenchmarkTraceQueryFullMatch / SingleNode / TickWindow) pins the index's
+# selective-read claim: the prune_x metric is (scanned+skipped)/scanned
+# bytes and must stay >= 10 for the selective queries.
+#
+# Custom go-test metrics (b.ReportMetric: bytes/event, events/s, prune_x,
+# bytes_scanned, ...) are captured per benchmark under "metrics".
 #
 # Usage: scripts/bench.sh [out.json] [-- <go test packages...>]
 set -euo pipefail
@@ -50,12 +56,20 @@ BEGIN {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = $3
   bop = "0"; aop = "0"
-  for (i = 4; i <= NF; i++) {
-    if ($i == "B/op") bop = $(i - 1)
-    if ($i == "allocs/op") aop = $(i - 1)
+  extra = ""
+  # Fields after "ns/op" come in (value, unit) pairs: the standard B/op and
+  # allocs/op plus any custom b.ReportMetric units (bytes/event, prune_x, ...).
+  for (i = 5; i < NF; i += 2) {
+    val = $i; unit = $(i + 1)
+    if (unit == "B/op") { bop = val; continue }
+    if (unit == "allocs/op") { aop = val; continue }
+    if (extra != "") extra = extra ", "
+    extra = extra sprintf("\"%s\": %s", unit, val)
   }
   if (n++) printf ","
-  printf "\n    {\n      \"name\": \"%s\",\n      \"iters\": %s,\n      \"ns_per_op\": %s,\n      \"b_per_op\": %s,\n      \"allocs_per_op\": %s\n    }", name, iters, ns, bop, aop
+  printf "\n    {\n      \"name\": \"%s\",\n      \"iters\": %s,\n      \"ns_per_op\": %s,\n      \"b_per_op\": %s,\n      \"allocs_per_op\": %s", name, iters, ns, bop, aop
+  if (extra != "") printf ",\n      \"metrics\": {%s}", extra
+  printf "\n    }"
 }
 END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"

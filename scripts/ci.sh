@@ -51,10 +51,12 @@ go test -race -timeout 10m -run 'TestGridScanEquivalence|TestGridParallelRunsAgr
 # abort point per experiment, still all 16 experiments × both worker counts).
 go test -race -short -timeout 10m -run 'TestResumeByteIdentical|TestCheckpointParallelWriters' ./internal/experiment
 # The trace layer's locked observer serializes concurrent grid workers into
-# one writer; race the whole package plus the suite-level dual-format
-# differential test (all experiments, Workers 1 and 8) explicitly.
+# one writer; race the whole package (includes the query/scan differential
+# suite TestQueryScanEquivalence) plus the suite-level differential tests
+# (all experiments, Workers 1 and 8): dual-format equivalence and indexed
+# query vs full-scan-filter equivalence.
 go test -race -timeout 10m ./internal/trace
-go test -race -timeout 10m -run 'TestTraceDualFormatAllExperiments' ./internal/experiment
+go test -race -timeout 10m -run 'TestTraceDualFormatAllExperiments|TestQueryScanEquivalenceAllExperiments' ./internal/experiment
 # The jobs daemon multiplexes journal writes, checkpoint access and event
 # fan-out across pool workers and HTTP handlers; race the whole package
 # explicitly (includes the submission-flood and SIGKILL/restart tests).
@@ -73,6 +75,11 @@ go test -timeout 5m -run '^$' -fuzz '^FuzzGridWithin$' -fuzztime 10s ./internal/
 # builds; fuzz it against arbitrary bytes (never panic, bounded allocation,
 # accepted decodes must round-trip).
 go test -timeout 5m -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 10s ./internal/trace
+# The index-frame decoder and the query planner sit behind the same hostile
+# inputs; fuzz arbitrary payloads spliced as CRC-valid index frames (never
+# panic, bounded allocation, a forged index can suppress frames but never
+# fabricate or corrupt query results).
+go test -timeout 5m -run '^$' -fuzz '^FuzzIndexDecode$' -fuzztime 10s ./internal/trace
 
 # Coverage gate: statement coverage of the gated packages must not drop
 # below the committed floors. Measured in -short mode so the numbers are
