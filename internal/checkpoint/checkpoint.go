@@ -31,6 +31,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
@@ -102,6 +103,15 @@ type Stats struct {
 	// TornBytes is the length of the invalid tail recovery dropped (0 for a
 	// clean journal).
 	TornBytes int64
+	// DedupWaits counts JoinFlight calls that blocked behind another
+	// goroutine computing the same key; DedupHits counts the subset that
+	// were then served the leader's record instead of recomputing it — the
+	// in-flight cross-job dedup the single-flight table provides on top of
+	// the finished-cell cache.
+	DedupWaits, DedupHits int64
+	// Compactions counts Compact runs; CompactDropped totals the records
+	// they dropped.
+	Compactions, CompactDropped int64
 }
 
 // Store is the on-disk cell-result store. All methods are safe for
@@ -112,11 +122,17 @@ type Store struct {
 	j    *Journal
 	dir  string
 	recs map[Key]*Record
+	// flights is the single-flight table: keys whose cell is being computed
+	// right now, each with a channel closed when the computation resolves
+	// (see JoinFlight/LeaveFlight).
+	flights map[Key]chan struct{}
 
 	resumed   bool
 	tornBytes int64
 
 	hits, misses, stores, errors atomic.Int64
+	dedupWaits, dedupHits        atomic.Int64
+	compactions, compactDropped  atomic.Int64
 }
 
 const (
@@ -146,7 +162,12 @@ func open(dir string, resume bool) (*Store, error) {
 		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
-	s := &Store{dir: dir, recs: make(map[Key]*Record), resumed: resume}
+	s := &Store{
+		dir:     dir,
+		recs:    make(map[Key]*Record),
+		flights: make(map[Key]chan struct{}),
+		resumed: resume,
+	}
 	if !resume {
 		j, err := CreateJournal(path)
 		if err != nil {
@@ -215,7 +236,11 @@ func (s *Store) Lookup(k Key) (*Record, bool) {
 // Put commits one record: a single journal append, so concurrent grid
 // workers interleave whole frames and a crash can tear at most the final
 // one. The in-memory index is updated only after the frame reached the
-// journal.
+// journal. The store mutex is held across the append — appends already
+// serialize on the journal's own mutex, so this costs no concurrency, and
+// it guarantees Compact can never snapshot the index between a record's
+// journal frame and its index entry (which would silently drop the frame
+// from the rewritten journal).
 func (s *Store) Put(rec Record) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
@@ -223,22 +248,150 @@ func (s *Store) Put(rec Record) error {
 		return fmt.Errorf("checkpoint: encode record: %w", err)
 	}
 	s.mu.Lock()
-	j := s.j
-	s.mu.Unlock()
-	if j == nil {
+	if s.j == nil {
+		s.mu.Unlock()
 		s.errors.Add(1)
 		return errors.New("checkpoint: store is closed")
 	}
-	if err := j.Append(payload.Bytes()); err != nil {
+	if err := s.j.Append(payload.Bytes()); err != nil {
+		s.mu.Unlock()
 		s.errors.Add(1)
 		return fmt.Errorf("checkpoint: append record: %w", err)
 	}
-	s.mu.Lock()
 	r := rec
 	s.recs[r.Key()] = &r
 	s.mu.Unlock()
 	s.stores.Add(1)
 	return nil
+}
+
+// CompactStats reports one Compact run.
+type CompactStats struct {
+	// Kept and Dropped count the records the rewritten journal retained and
+	// discarded.
+	Kept, Dropped int
+	// BytesBefore and BytesAfter are the journal's on-disk size around the
+	// rewrite; the difference includes duplicate and superseded frames the
+	// rewrite deduplicated even when nothing was dropped.
+	BytesBefore, BytesAfter int64
+}
+
+// Compact rewrites the journal to contain exactly the records keep retains
+// (nil keeps everything), dropping discarded keys from the in-memory index.
+// Even a keep-everything compaction is useful: the rewrite contains one
+// frame per live key, so duplicate frames from crashed or concurrent
+// sessions are squeezed out. The rewrite is atomic (temp file + fsync +
+// rename — see Journal.Rewrite): a crash at any instant leaves either the
+// old or the new journal fully valid. Concurrent Puts serialize against the
+// compaction and land in the rewritten journal.
+func (s *Store) Compact(keep func(*Record) bool) (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.j == nil {
+		return CompactStats{}, errors.New("checkpoint: store is closed")
+	}
+	var st CompactStats
+	if size, err := s.j.Size(); err == nil {
+		st.BytesBefore = size
+	}
+	// Deterministic rewrite order (commit order is worker-scheduling noise).
+	recs := make([]*Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Experiment != recs[j].Experiment {
+			return recs[i].Experiment < recs[j].Experiment
+		}
+		return recs[i].Label < recs[j].Label
+	})
+	payloads := make([][]byte, 0, len(recs))
+	var dropped []Key
+	for _, rec := range recs {
+		if keep != nil && !keep(rec) {
+			dropped = append(dropped, rec.Key())
+			st.Dropped++
+			continue
+		}
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+			return st, fmt.Errorf("checkpoint: encode record: %w", err)
+		}
+		payloads = append(payloads, payload.Bytes())
+		st.Kept++
+	}
+	if err := s.j.Rewrite(payloads); err != nil {
+		return st, err
+	}
+	// Only forget dropped records once the rewrite is durable: a failed
+	// rewrite leaves both the journal and the index as they were.
+	for _, k := range dropped {
+		delete(s.recs, k)
+	}
+	s.tornBytes = 0
+	if size, err := s.j.Size(); err == nil {
+		st.BytesAfter = size
+	}
+	s.compactions.Add(1)
+	s.compactDropped.Add(int64(st.Dropped))
+	return st, nil
+}
+
+// JoinFlight coordinates concurrent computation of the cell addressed by k
+// — the in-flight counterpart of the finished-cell dedup Lookup provides.
+// It returns (rec, false) when a committed record exists, possibly after
+// blocking while another goroutine (the flight leader) computed it; and
+// (nil, true) when the caller has become the leader and must compute the
+// cell, then call LeaveFlight — via defer, so even a panicking computation
+// releases the waiters. A leader that resolves without committing a record
+// (failed or cancelled cell) promotes one waiter to leader, so the work is
+// retried, never lost. A nil ctx waits indefinitely; a ctx that fires
+// mid-wait returns (nil, false) — the caller computes on its own, losing
+// only the dedup.
+func (s *Store) JoinFlight(ctx context.Context, k Key) (*Record, bool) {
+	waited := false
+	for {
+		s.mu.Lock()
+		if rec, ok := s.recs[k]; ok {
+			s.mu.Unlock()
+			if waited {
+				s.dedupHits.Add(1)
+			}
+			return rec, false
+		}
+		ch, inflight := s.flights[k]
+		if !inflight {
+			s.flights[k] = make(chan struct{})
+			s.mu.Unlock()
+			return nil, true
+		}
+		s.mu.Unlock()
+		if !waited {
+			waited = true
+			s.dedupWaits.Add(1)
+		}
+		if ctx == nil {
+			<-ch
+			continue
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// LeaveFlight resolves the flight a JoinFlight leader holds on k, waking
+// every waiter (each re-checks the store: a committed record fans out, a
+// missing one promotes the first waiter to leader). Idempotent.
+func (s *Store) LeaveFlight(k Key) {
+	s.mu.Lock()
+	if ch, ok := s.flights[k]; ok {
+		delete(s.flights, k)
+		close(ch)
+	}
+	s.mu.Unlock()
 }
 
 // Sync flushes every committed record to stable storage (fsync on the
@@ -252,6 +405,18 @@ func (s *Store) Sync() error {
 		return nil
 	}
 	return j.Sync()
+}
+
+// JournalSize reports the store journal's current on-disk length in bytes
+// — the store's contribution to a state-directory byte budget.
+func (s *Store) JournalSize() (int64, error) {
+	s.mu.Lock()
+	j := s.j
+	s.mu.Unlock()
+	if j == nil {
+		return 0, errors.New("checkpoint: store is closed")
+	}
+	return j.Size()
 }
 
 // NoteError counts a store-related failure that happened outside the
@@ -322,15 +487,20 @@ func (s *Store) Each(fn func(*Record)) {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	records := len(s.recs)
+	torn := s.tornBytes
 	s.mu.Unlock()
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Stores:    s.stores.Load(),
-		Errors:    s.errors.Load(),
-		Records:   records,
-		Resumed:   s.resumed,
-		TornBytes: s.tornBytes,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Stores:         s.stores.Load(),
+		Errors:         s.errors.Load(),
+		Records:        records,
+		Resumed:        s.resumed,
+		TornBytes:      torn,
+		DedupWaits:     s.dedupWaits.Load(),
+		DedupHits:      s.dedupHits.Load(),
+		Compactions:    s.compactions.Load(),
+		CompactDropped: s.compactDropped.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -36,12 +37,22 @@ type Journal struct {
 
 // CreateJournal opens a fresh journal at path, discarding any existing one.
 func CreateJournal(path string) (*Journal, error) {
+	removeStaleRewrite(path)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create journal: %w", err)
 	}
 	return &Journal{f: f, path: path}, nil
 }
+
+// removeStaleRewrite deletes a temp file a Rewrite left behind when the
+// process died before the atomic rename — the old journal is still the
+// authoritative one, so the temp is garbage, and leaving it would let
+// crashed compactions accumulate unbounded state.
+func removeStaleRewrite(path string) { os.Remove(rewritePath(path)) }
+
+// rewritePath is where Rewrite stages the replacement journal.
+func rewritePath(path string) string { return path + ".rewrite" }
 
 // ResumeJournal opens the journal at path (creating an empty one when
 // missing) and recovers its longest valid prefix: every frame that parses —
@@ -52,6 +63,7 @@ func CreateJournal(path string) (*Journal, error) {
 //
 // The payload slice passed to accept is only valid during the call.
 func ResumeJournal(path string, accept func(payload []byte) bool) (*Journal, error) {
+	removeStaleRewrite(path)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
@@ -113,6 +125,106 @@ func (j *Journal) Sync() error {
 		return fmt.Errorf("checkpoint: sync journal: %w", err)
 	}
 	return nil
+}
+
+// RewriteStage names a point inside Journal.Rewrite at which the journal's
+// on-disk state is well defined; RewriteTestHook fires at each one so
+// crash-safety tests can kill the process between them.
+type RewriteStage string
+
+const (
+	// StageTempWritten: the replacement journal is fully written and fsynced
+	// at the temp path; the original journal is untouched. A crash here
+	// leaves the old journal authoritative (the temp is removed on the next
+	// open).
+	StageTempWritten RewriteStage = "temp-written"
+	// StageRenamed: the replacement has atomically replaced the original.
+	// A crash here (before the directory fsync) leaves either the old or the
+	// new journal fully valid, depending on whether the rename's directory
+	// entry reached disk — never a mixture.
+	StageRenamed RewriteStage = "renamed"
+)
+
+// RewriteTestHook, when non-nil, is called by Rewrite at each RewriteStage
+// with the journal path. Crash-safety tests install a hook that SIGKILLs the
+// process at a chosen stage; production code must leave it nil.
+var RewriteTestHook func(stage RewriteStage, path string)
+
+// Rewrite atomically replaces the journal's entire contents with the given
+// payloads (each becoming one frame, in order). The replacement is staged in
+// a temp file, fsynced, and renamed over the journal, so a crash — even
+// SIGKILL — at any byte leaves either the old or the new journal fully
+// valid, never a torn mixture: the same discipline ResumeJournal already
+// guarantees per frame, extended to whole-file compaction. Appends issued
+// concurrently serialize against the rewrite and land in the new journal.
+func (j *Journal) Rewrite(payloads [][]byte) error {
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		frame, err := encodePayloadFrame(p)
+		if err != nil {
+			return err
+		}
+		buf.Write(frame)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	tmp := rewritePath(j.path)
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: stage rewrite: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write rewrite: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: sync rewrite: %w", err)
+	}
+	if RewriteTestHook != nil {
+		RewriteTestHook(StageTempWritten, j.path)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: swap rewrite: %w", err)
+	}
+	if RewriteTestHook != nil {
+		RewriteTestHook(StageRenamed, j.path)
+	}
+	// Persist the rename itself; best-effort (some filesystems refuse
+	// directory fsync), and rename atomicity already guarantees
+	// old-or-new either way.
+	if d, derr := os.Open(filepath.Dir(j.path)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	// f now refers to the inode living at j.path, positioned at its end —
+	// exactly where subsequent Appends must land. The old handle points at
+	// the unlinked previous journal.
+	j.f.Close()
+	j.f = f
+	j.torn = 0
+	return nil
+}
+
+// Size reports the journal's current on-disk length in bytes.
+func (j *Journal) Size() (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	fi, err := j.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: stat journal: %w", err)
+	}
+	return fi.Size(), nil
 }
 
 // Resumed reports whether the journal was opened by ResumeJournal.

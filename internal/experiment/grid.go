@@ -378,6 +378,24 @@ func heapAllocBytes() int64 {
 // appended to the checkpoint store together with its private metrics
 // snapshot and attempt count.
 func (g *Grid[T]) runCell(i int, o Options, cc *cellCache, out []T) *Failure {
+	if cc != nil && g.labels[i] != "" {
+		// Single-flight: when another goroutine — typically another job
+		// sharing the daemon's store — is computing this exact cell, wait
+		// for its committed record instead of duplicating the work. The
+		// leader computes below and resolves the flight on every exit path
+		// (deferred, so a panicking cell still releases its waiters); a
+		// leader that fails or is cancelled commits nothing, which promotes
+		// one waiter to recompute. A waiter whose run context fires during
+		// the wait falls through and computes on its own.
+		key := cc.key(o.Name, g.labels[i])
+		rec, leader := cc.store.JoinFlight(o.Context, key)
+		if !leader && rec != nil && g.replayCell(i, o, rec, out) {
+			return nil
+		}
+		if leader {
+			defer cc.store.LeaveFlight(key)
+		}
+	}
 	instr := o.Metrics != nil
 	record := instr || o.Report != nil
 	var start time.Time

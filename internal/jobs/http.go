@@ -25,6 +25,7 @@ import (
 //	GET    /jobs/{id}/events live SSE stream  → 200 text/event-stream | 404
 //	GET    /jobs/{id}/trace  query the job's recorded trace
 //	                         → 200 sub-trace | 400 | 404
+//	POST   /gc               run a retention sweep → 200 GCStats | 503
 //	GET    /healthz          liveness         → 200 always
 //	GET    /readyz           readiness        → 200 | 503 while draining
 //	GET    /metricsz         counters + checkpoint stats → 200 JSON
@@ -48,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /gc", s.handleGC)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
@@ -75,9 +77,17 @@ func (s *Server) httpError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, ErrBusy):
 		// The load-shedding contract: refuse with a retry hint instead of
-		// queueing without bound.
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		// queueing without bound. Clamped to ≥ 1: sub-second RetryAfter
+		// configs used to round to "0", telling clients to hammer the
+		// daemon mid-overload.
+		secs := int(s.cfg.RetryAfter.Seconds() + 0.5)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrTraceUnavailable):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrNotFound):
@@ -96,6 +106,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("jobs: decode spec: %w", err))
 		return
+	}
+	// The X-Client header is the transport-level way to claim a client
+	// identity (proxies can inject it); an explicit spec field wins.
+	if spec.Client == "" {
+		spec.Client = r.Header.Get("X-Client")
 	}
 	view, err := s.Submit(spec)
 	if err != nil {
@@ -253,6 +268,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Trace-Full-Scan", strconv.FormatBool(st.FullScan))
 	h.Set("X-Trace-Truncated", strconv.FormatBool(st.Truncated))
 	w.Write(buf.Bytes())
+}
+
+// handleGC runs one retention sweep on demand and reports what it
+// collected. Idempotent; a sweep on an idle daemon is a cheap compaction.
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	st, err := s.GC()
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {

@@ -18,11 +18,19 @@
 //
 // The accept path is load-shedding rather than unbounded: once queue depth
 // or the in-flight cell-weight budget is exceeded, submissions are refused
-// with ErrBusy (HTTP 429 + Retry-After) instead of growing memory. SIGTERM
-// triggers graceful drain: accepting stops (readyz flips), running jobs get
-// a grace period to finish before their grids are cancelled (completed
-// cells stay checkpointed), queued jobs park for the next start, journals
-// flush, and the daemon exits 0.
+// with ErrBusy (HTTP 429 + Retry-After ≥ 1) instead of growing memory; the
+// optional per-client budgets (Config.Client*) shed the same way with a
+// QuotaError naming the tripped budget, and the weighted-fair dequeue keeps
+// one greedy client from starving the rest. SIGTERM triggers graceful
+// drain: accepting stops (readyz flips), running jobs get a grace period to
+// finish before their grids are cancelled (completed cells stay
+// checkpointed), queued jobs park for the next start, journals flush, and
+// the daemon exits 0.
+//
+// Durable state is bounded, not append-forever: the retention policy
+// (Config.Retain{Age,Count,Bytes}) drives a GC sweeper (see gc.go) that
+// collects terminal jobs past retention, unlinks their traces, and
+// atomically compacts both journals without ever widening the crash window.
 package jobs
 
 import (
@@ -84,6 +92,11 @@ type Spec struct {
 	// GET /jobs/{id}/trace. Each attempt rewrites the file, so the trace
 	// always reflects the attempt that produced the job's output.
 	Trace bool `json:"trace,omitempty"`
+	// Client is the optional client identity the per-client quota and
+	// fair-scheduling machinery keys on (also settable via the X-Client
+	// request header; the spec field wins). Empty submissions share one
+	// anonymous client. Printable ASCII, at most 64 bytes.
+	Client string `json:"client,omitempty"`
 }
 
 // weight is the spec's admission cost against the server's in-flight
@@ -125,6 +138,14 @@ func (s *Spec) validate(cfg *Config) error {
 	}
 	if d := time.Duration(s.DeadlineMs) * time.Millisecond; d > cfg.MaxDeadline {
 		return &InvalidError{Reason: fmt.Sprintf("deadline %s exceeds the limit %s", d, cfg.MaxDeadline)}
+	}
+	if len(s.Client) > 64 {
+		return &InvalidError{Reason: fmt.Sprintf("client identity is %d bytes, limit 64", len(s.Client))}
+	}
+	for _, c := range s.Client {
+		if c <= ' ' || c > '~' {
+			return &InvalidError{Reason: fmt.Sprintf("client identity %q contains non-printable or whitespace characters", s.Client)}
+		}
 	}
 	return nil
 }
@@ -187,6 +208,30 @@ type InvalidError struct{ Reason string }
 
 func (e *InvalidError) Error() string { return "jobs: invalid spec: " + e.Reason }
 
+// QuotaError sheds a submission that would exceed one of its client's
+// budgets. It matches ErrBusy under errors.Is, so callers (and the HTTP
+// layer) treat it as the same load-shedding contract — 429 + Retry-After —
+// while the message names exactly which budget tripped.
+type QuotaError struct {
+	// Client is the submitting identity ("" renders as "anonymous").
+	Client string
+	// Budget names the limit that tripped: "queue-depth" or "weight".
+	Budget string
+	// Used and Limit are the budget's occupancy at rejection time.
+	Used, Limit int
+}
+
+func (e *QuotaError) Error() string {
+	client := e.Client
+	if client == "" {
+		client = "anonymous"
+	}
+	return fmt.Sprintf("jobs: client %s over %s quota (%d of %d), retry later", client, e.Budget, e.Used, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrBusy) true for quota rejections.
+func (e *QuotaError) Is(target error) bool { return target == ErrBusy }
+
 // Sentinel errors of the accept path and the job registry; the HTTP layer
 // maps them to status codes.
 var (
@@ -201,4 +246,8 @@ var (
 	ErrTerminal = errors.New("jobs: job already terminal")
 	// ErrClosed reports an operation on a server that has been drained.
 	ErrClosed = errors.New("jobs: server closed")
+	// ErrTraceUnavailable rejects a Spec.Trace submission when the traces
+	// directory cannot be written (HTTP 503): the job would only discover
+	// the problem mid-attempt, so admission refuses it up front.
+	ErrTraceUnavailable = errors.New("jobs: trace recording unavailable")
 )

@@ -16,19 +16,28 @@ import (
 //   - "submit" commits an accepted job (id + spec) before the accept
 //     response is sent, so an acknowledged job can never be lost;
 //   - "done" / "failed" / "cancelled" commit the terminal outcome together
-//     with the job's output or last error.
+//     with the job's output or last error (and the terminal wall-clock
+//     instant, which the retention sweeper ages against);
+//   - "seq" pins the id allocator's high-water mark, written by GC
+//     compaction so dropping the oldest submit records can never recycle a
+//     job id.
 //
 // A job with a submit record and no terminal record is exactly the set a
 // crash can interrupt — on restart those jobs re-queue as resumed, and
 // their grids replay every finished cell from the shared checkpoint store.
+//
+// The ledger is bounded by GC compaction (see gc.go): rewrite() atomically
+// replaces the whole file with the retained events via the container's
+// temp-file + fsync + rename discipline, so a SIGKILL at any byte leaves
+// either the old or the new ledger fully valid.
 
 const journalName = "jobs.journal"
 
 // jobEvent is one journal frame.
 type jobEvent struct {
-	Kind string `json:"kind"` // "submit" | "done" | "failed" | "cancelled"
+	Kind string `json:"kind"` // "submit" | "done" | "failed" | "cancelled" | "seq"
 	ID   string `json:"id"`
-	// Seq restores the id allocator on replay (submit events only).
+	// Seq restores the id allocator on replay (submit and seq events).
 	Seq  int   `json:"seq,omitempty"`
 	Spec *Spec `json:"spec,omitempty"`
 	// Output is the job's rendered result (done events only), kept in the
@@ -38,6 +47,10 @@ type jobEvent struct {
 	Error string `json:"error,omitempty"`
 	// Attempts is the attempt count at the terminal transition.
 	Attempts int `json:"attempts,omitempty"`
+	// DoneMs is the terminal transition's wall clock (Unix milliseconds,
+	// terminal events only) — what Config.RetainAge ages against after a
+	// restart.
+	DoneMs int64 `json:"done_ms,omitempty"`
 }
 
 // jobJournal wraps the framed container with the event encoding.
@@ -69,7 +82,7 @@ func resumeJobJournal(dir string, replay func(jobEvent)) (*jobJournal, error) {
 			if ev.Spec == nil {
 				return false
 			}
-		case "done", "failed", "cancelled":
+		case "done", "failed", "cancelled", "seq":
 		default:
 			return false
 		}
@@ -93,6 +106,27 @@ func (l *jobJournal) append(ev jobEvent) error {
 	}
 	return nil
 }
+
+// rewrite atomically replaces the ledger's contents with the given events —
+// GC compaction's durable step. Inherits checkpoint.Journal.Rewrite's
+// old-or-new crash guarantee.
+func (l *jobJournal) rewrite(evs []jobEvent) error {
+	payloads := make([][]byte, 0, len(evs))
+	for _, ev := range evs {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("jobs: encode journal event: %w", err)
+		}
+		payloads = append(payloads, payload)
+	}
+	if err := l.j.Rewrite(payloads); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// size reports the ledger's on-disk length.
+func (l *jobJournal) size() (int64, error) { return l.j.Size() }
 
 func (l *jobJournal) sync() error  { return l.j.Sync() }
 func (l *jobJournal) close() error { return l.j.Close() }

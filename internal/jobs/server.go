@@ -58,8 +58,32 @@ type Config struct {
 	// grids are cancelled and the jobs park for the next start (default 5s).
 	DrainGrace time.Duration
 	// RetryAfter is the Retry-After hint attached to shed responses
-	// (default 1s).
+	// (default 1s; the HTTP layer clamps the header to ≥ 1 second).
 	RetryAfter time.Duration
+	// RetainAge, RetainCount and RetainBytes are the retention policy GC
+	// enforces over terminal jobs (see gc.go). Zero disables the
+	// corresponding axis; all three zero keeps every terminal job forever
+	// (GC then only compacts duplicate journal frames). RetainAge drops
+	// terminal jobs older than the duration, RetainCount keeps at most that
+	// many terminal jobs (newest first), and RetainBytes drops oldest
+	// terminal jobs until the state directory (ledger + checkpoint journal +
+	// traces) fits the budget.
+	RetainAge   time.Duration
+	RetainCount int
+	RetainBytes int64
+	// GCInterval is the background sweeper's period. Zero runs GC only on
+	// demand (POST /gc or Server.GC) unless a retention axis is configured,
+	// in which case it defaults to 1m.
+	GCInterval time.Duration
+	// ClientQueueDepth, ClientMaxWeight and ClientMaxInflight are the
+	// per-client budgets (keyed on Spec.Client). Zero disables the
+	// corresponding budget. Queue depth and weight shed at submission with a
+	// QuotaError naming the tripped budget (HTTP 429); the inflight cap is
+	// enforced by the weighted-fair dequeue, which skips a capped client's
+	// jobs instead of rejecting them.
+	ClientQueueDepth  int
+	ClientMaxWeight   int
+	ClientMaxInflight int
 	// Runner executes job attempts; nil selects ExperimentRunner with the
 	// grid settings above. Tests inject fakes here.
 	Runner Runner
@@ -108,6 +132,9 @@ func (c *Config) fill() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.GCInterval <= 0 && (c.RetainAge > 0 || c.RetainCount > 0 || c.RetainBytes > 0) {
+		c.GCInterval = time.Minute
+	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
@@ -122,6 +149,8 @@ var counterNames = []string{
 	"jobs/accepted", "jobs/shed", "jobs/rejected", "jobs/journal-errors",
 	"jobs/done", "jobs/failed", "jobs/cancelled",
 	"jobs/retried", "jobs/resumed", "jobs/drained",
+	"jobs/gc/runs", "jobs/gc/collected", "jobs/gc/traces-removed",
+	"checkpoint/gc/compactions", "checkpoint/gc/dropped",
 }
 
 // job is the server-internal mutable record behind a JobView. Every field
@@ -129,12 +158,20 @@ var counterNames = []string{
 type job struct {
 	id       string
 	spec     Spec
+	seqNo    int
 	state    State
 	attempts int
 	lastErr  string
 	output   string
 	resumed  bool
 	prog     *ProgressView
+	// doneAt is the terminal transition's Unix-millisecond wall clock (0
+	// while non-terminal) — what RetainAge ages against.
+	doneAt int64
+	// dequeued flips when a worker pops the job; finish uses it to tell a
+	// job that ran (inflight accounting) from one cancelled in the queue
+	// (queued accounting).
+	dequeued bool
 
 	cancelReq    bool
 	cancelClosed bool
@@ -188,7 +225,50 @@ type Server struct {
 	draining bool
 	closed   bool
 
+	// clients is the per-client accounting behind quotas and the
+	// weighted-fair dequeue; clientOrder fixes the deterministic tie-break
+	// (first submission wins).
+	clients     map[string]*clientState
+	clientOrder []string
+
+	// lastGC snapshots the most recent GC run for /statusz.
+	lastGC   GCStats
+	lastGCAt time.Time
+	gcRan    bool
+
 	wg sync.WaitGroup
+}
+
+// clientState is one client's admission and scheduling account. Guarded by
+// the server mutex.
+type clientState struct {
+	// queued and inflight count the client's jobs waiting and running;
+	// weight is its total declared cell weight across both.
+	queued, inflight, weight int
+	// served is the total declared weight of jobs dequeued for this client —
+	// the attained service the weighted-fair dequeue equalizes. New clients
+	// start at the current minimum so they neither inherit a deficit nor an
+	// unbounded catch-up credit.
+	served int64
+}
+
+// clientOf returns (creating on first sight) the account for a client id.
+// Caller holds the server mutex.
+func (s *Server) clientOf(client string) *clientState {
+	if cs, ok := s.clients[client]; ok {
+		return cs
+	}
+	cs := &clientState{}
+	first := true
+	for _, other := range s.clients {
+		if first || other.served < cs.served {
+			cs.served = other.served
+			first = false
+		}
+	}
+	s.clients[client] = cs
+	s.clientOrder = append(s.clientOrder, client)
+	return cs
 }
 
 // Open resumes (or creates) the daemon state in cfg.Dir and starts the
@@ -220,6 +300,7 @@ func Open(cfg Config) (*Server, error) {
 		store:   store,
 		drainCh: make(chan struct{}),
 		jobs:    make(map[string]*job),
+		clients: make(map[string]*clientState),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
@@ -244,6 +325,9 @@ func Open(cfg Config) (*Server, error) {
 		j.resumed = true
 		s.queue = append(s.queue, j)
 		s.weight += j.spec.weight()
+		cs := s.clientOf(j.spec.Client)
+		cs.queued++
+		cs.weight += j.spec.weight()
 		s.reg.Counter("jobs/resumed").Inc()
 	}
 
@@ -251,6 +335,10 @@ func Open(cfg Config) (*Server, error) {
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker(w)
+	}
+	if cfg.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.gcSweeper()
 	}
 	return s, nil
 }
@@ -262,6 +350,7 @@ func (s *Server) replay(ev jobEvent) {
 		j := &job{
 			id:       ev.ID,
 			spec:     *ev.Spec,
+			seqNo:    ev.Seq,
 			state:    StateQueued,
 			cancelCh: make(chan struct{}),
 			subs:     make(map[int]chan Event),
@@ -291,6 +380,13 @@ func (s *Server) replay(ev jobEvent) {
 			j.lastErr = ev.Error
 		}
 		j.attempts = ev.Attempts
+		j.doneAt = ev.DoneMs
+	case "seq":
+		// GC compaction's allocator pin: dropping the oldest submit records
+		// must not let a restart re-issue their ids.
+		if ev.Seq > s.seq {
+			s.seq = ev.Seq
+		}
 	}
 }
 
@@ -350,9 +446,34 @@ type WorkerStatus struct {
 	Progress *ProgressView `json:"progress,omitempty"`
 }
 
+// ClientStatus is one client's quota account in the /statusz view.
+type ClientStatus struct {
+	// Client is the identity ("" for the anonymous client).
+	Client   string `json:"client"`
+	Queued   int    `json:"queued"`
+	Inflight int    `json:"inflight"`
+	Weight   int    `json:"weight"`
+	// Served is the attained service (total dequeued weight) the fair
+	// scheduler equalizes across clients.
+	Served int64 `json:"served"`
+}
+
+// GCStatus is the retention/GC panel of /statusz: the configured policy and
+// the last sweep's outcome.
+type GCStatus struct {
+	RetainAgeMs int64 `json:"retain_age_ms,omitempty"`
+	RetainCount int   `json:"retain_count,omitempty"`
+	RetainBytes int64 `json:"retain_bytes,omitempty"`
+	IntervalMs  int64 `json:"interval_ms,omitempty"`
+	// LastUnixMs is 0 until the first sweep.
+	LastUnixMs int64    `json:"last_unix_ms,omitempty"`
+	Last       *GCStats `json:"last,omitempty"`
+}
+
 // StatusView is the /statusz body: per-worker occupancy, queue pressure
-// against the admission limits, job counts by state, and the shedding/intake
-// counters — the one-page answer to "what is the daemon doing right now".
+// against the admission limits, job counts by state, per-client quota
+// accounts, the GC/retention panel, and the shedding/intake counters — the
+// one-page answer to "what is the daemon doing right now".
 type StatusView struct {
 	Draining   bool             `json:"draining"`
 	Workers    []WorkerStatus   `json:"workers"`
@@ -361,6 +482,8 @@ type StatusView struct {
 	Weight     int              `json:"weight"`
 	MaxWeight  int              `json:"max_weight"`
 	Jobs       map[State]int    `json:"jobs"`
+	Clients    []ClientStatus   `json:"clients,omitempty"`
+	GC         GCStatus         `json:"gc"`
 	Counters   map[string]int64 `json:"counters"`
 }
 
@@ -375,6 +498,24 @@ func (s *Server) Status() StatusView {
 		Weight:     s.weight,
 		MaxWeight:  s.cfg.MaxWeight,
 		Jobs:       make(map[State]int),
+		GC: GCStatus{
+			RetainAgeMs: s.cfg.RetainAge.Milliseconds(),
+			RetainCount: s.cfg.RetainCount,
+			RetainBytes: s.cfg.RetainBytes,
+			IntervalMs:  s.cfg.GCInterval.Milliseconds(),
+		},
+	}
+	for _, client := range s.clientOrder {
+		cs := s.clients[client]
+		v.Clients = append(v.Clients, ClientStatus{
+			Client: client, Queued: cs.queued, Inflight: cs.inflight,
+			Weight: cs.weight, Served: cs.served,
+		})
+	}
+	if s.gcRan {
+		last := s.lastGC
+		v.GC.Last = &last
+		v.GC.LastUnixMs = s.lastGCAt.UnixMilli()
 	}
 	for w, j := range s.working {
 		ws := WorkerStatus{Worker: w, Idle: j == nil}
@@ -409,13 +550,25 @@ func (s *Server) Draining() bool {
 
 // Submit validates and accepts one job: journalled before the call returns,
 // so an acknowledged job survives any crash. Returns ErrDraining during
-// shutdown and ErrBusy when the queue depth or the in-flight cell-weight
-// budget would be exceeded — the load-shedding contract that keeps the
-// daemon's memory bounded under submission floods.
+// shutdown, ErrBusy when the global queue depth or in-flight cell-weight
+// budget would be exceeded, and a *QuotaError (which errors.Is-matches
+// ErrBusy) naming the tripped budget when the submitting client is over one
+// of its per-client limits — the load-shedding contract that keeps the
+// daemon's memory bounded under submission floods and one greedy client
+// from starving the rest.
 func (s *Server) Submit(spec Spec) (JobView, error) {
 	if err := spec.validate(&s.cfg); err != nil {
 		s.reg.Counter("jobs/rejected").Inc()
 		return JobView{}, err
+	}
+	if spec.Trace {
+		// Fail trace jobs at admission, not mid-attempt: a submission that
+		// can never record its trace should be refused while the client is
+		// still on the line.
+		if err := s.traceWritable(); err != nil {
+			s.reg.Counter("jobs/rejected").Inc()
+			return JobView{}, err
+		}
 	}
 	w := spec.weight()
 	s.mu.Lock()
@@ -432,10 +585,24 @@ func (s *Server) Submit(spec Spec) (JobView, error) {
 		s.reg.Counter("jobs/shed").Inc()
 		return JobView{}, ErrBusy
 	}
+	cs := s.clientOf(spec.Client)
+	if s.cfg.ClientQueueDepth > 0 && cs.queued >= s.cfg.ClientQueueDepth {
+		err := &QuotaError{Client: spec.Client, Budget: "queue-depth", Used: cs.queued, Limit: s.cfg.ClientQueueDepth}
+		s.mu.Unlock()
+		s.reg.Counter("jobs/shed").Inc()
+		return JobView{}, err
+	}
+	if s.cfg.ClientMaxWeight > 0 && cs.weight+w > s.cfg.ClientMaxWeight {
+		err := &QuotaError{Client: spec.Client, Budget: "weight", Used: cs.weight, Limit: s.cfg.ClientMaxWeight}
+		s.mu.Unlock()
+		s.reg.Counter("jobs/shed").Inc()
+		return JobView{}, err
+	}
 	s.seq++
 	j := &job{
 		id:       fmt.Sprintf("j-%06d", s.seq),
 		spec:     spec,
+		seqNo:    s.seq,
 		state:    StateQueued,
 		cancelCh: make(chan struct{}),
 		subs:     make(map[int]chan Event),
@@ -449,6 +616,8 @@ func (s *Server) Submit(spec Spec) (JobView, error) {
 	s.order = append(s.order, j.id)
 	s.queue = append(s.queue, j)
 	s.weight += w
+	cs.queued++
+	cs.weight += w
 	s.reg.Gauge("jobs/weight-high-water").SetMax(int64(s.weight))
 	s.reg.Gauge("jobs/queue-high-water").SetMax(int64(len(s.queue)))
 	view := j.view()
@@ -456,6 +625,22 @@ func (s *Server) Submit(spec Spec) (JobView, error) {
 	s.mu.Unlock()
 	s.reg.Counter("jobs/accepted").Inc()
 	return view, nil
+}
+
+// traceWritable probes the traces directory with a create+remove round
+// trip, wrapping any failure in ErrTraceUnavailable (HTTP 503). A probe
+// file (not a permission-bit check) is deliberate: it is the same operation
+// the attempt will perform and stays honest under privileged users, ACLs
+// and read-only mounts.
+func (s *Server) traceWritable() error {
+	f, err := os.CreateTemp(filepath.Join(s.cfg.Dir, "traces"), ".probe-*")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTraceUnavailable, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
 }
 
 // View returns the snapshot of one job.
@@ -594,15 +779,17 @@ func (s *Server) worker(w int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.draining {
+		var j *job
+		for {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.popLocked(); j != nil {
+				break
+			}
 			s.cond.Wait()
 		}
-		if s.draining {
-			s.mu.Unlock()
-			return
-		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
 		s.working[w] = j
 		s.mu.Unlock()
 		s.supervise(j)
@@ -610,6 +797,48 @@ func (s *Server) worker(w int) {
 		s.working[w] = nil
 		s.mu.Unlock()
 	}
+}
+
+// popLocked is the weighted-fair dequeue: among clients that have a queued
+// job and are under their inflight cap, pick the one with the least
+// attained service (total declared weight already dequeued for it), then
+// that client's oldest queued job — least-attained-service scheduling, the
+// simple deterministic cousin of deficit round robin. Ties break in
+// first-submission client order, and with no quotas configured and a single
+// client it degenerates to exactly the old FIFO. Returns nil when no job is
+// eligible (empty queue, or every queued client is at its inflight cap —
+// finish() broadcasts when a slot frees). Caller holds the server mutex.
+func (s *Server) popLocked() *job {
+	seen := make(map[string]bool, len(s.clients))
+	best := -1
+	var bestClient *clientState
+	for i, j := range s.queue {
+		c := j.spec.Client
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cs := s.clients[c]
+		if s.cfg.ClientMaxInflight > 0 && cs.inflight >= s.cfg.ClientMaxInflight {
+			continue
+		}
+		// The first hit per client is that client's oldest queued job, and
+		// scanning the queue front to back makes "first seen" respect
+		// submission order for equal served totals.
+		if best == -1 || cs.served < bestClient.served {
+			best, bestClient = i, cs
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	j.dequeued = true
+	bestClient.queued--
+	bestClient.inflight++
+	bestClient.served += int64(j.spec.weight())
+	return j
 }
 
 // attemptOutcome classifies a failed attempt.
@@ -728,27 +957,52 @@ func (s *Server) transition(j *job, st State, attempt int, errStr string) {
 }
 
 // finish journals and publishes a terminal state, releasing the job's
-// admission weight and closing its event streams.
+// admission weight and closing its event streams. The ledger append happens
+// under the server mutex: GC holds the same mutex while it snapshots the
+// job table and rewrites the ledger, so a terminal event either lands
+// before the snapshot (and is part of the rewrite) or appends to the
+// rewritten journal — never into the file the rewrite is about to replace.
 func (s *Server) finish(j *job, st State, attempts int, out, errStr string) {
 	kind := map[State]string{
 		StateDone: "done", StateFailed: "failed", StateCancelled: "cancelled",
 	}[st]
-	if err := s.ledger.append(jobEvent{Kind: kind, ID: j.id, Output: out, Error: errStr, Attempts: attempts}); err != nil {
+	doneAt := time.Now().UnixMilli()
+	s.mu.Lock()
+	if err := s.ledger.append(jobEvent{Kind: kind, ID: j.id, Output: out, Error: errStr, Attempts: attempts, DoneMs: doneAt}); err != nil {
 		// The in-memory state is still authoritative for this process; the
 		// next start will re-run the job, which the checkpoint store makes
 		// cheap.
 		s.reg.Counter("jobs/journal-errors").Inc()
 	}
-	s.mu.Lock()
 	j.state = st
 	j.attempts = attempts
 	j.output = out
 	j.lastErr = errStr
+	j.doneAt = doneAt
 	j.runCancel = nil
 	s.weight -= j.spec.weight()
+	if cs, ok := s.clients[j.spec.Client]; ok {
+		cs.weight -= j.spec.weight()
+		if j.dequeued {
+			cs.inflight--
+		} else {
+			// Cancelled straight out of the queue: Cancel already removed it,
+			// so only the count is released here.
+			cs.queued--
+		}
+	}
 	s.publishLocked(j, Event{Type: "state", State: st, Attempt: attempts, Error: errStr})
 	s.closeSubsLocked(j)
+	// A freed inflight slot may unblock a client the fair dequeue was
+	// skipping; wake every parked worker to re-scan.
+	s.cond.Broadcast()
 	s.mu.Unlock()
+	if st == StateCancelled && j.spec.Trace {
+		// DELETE semantics: a cancelled job's recorded trace is unlinked
+		// with it (tolerating ENOENT — queued jobs never wrote one). DONE
+		// and FAILED traces stay queryable until retention collects them.
+		os.Remove(s.tracePath(j.id))
+	}
 	switch st {
 	case StateDone:
 		s.reg.Counter("jobs/done").Inc()
@@ -766,6 +1020,13 @@ func (s *Server) park(j *job, attempt int) {
 	s.mu.Lock()
 	j.state = StateQueued
 	j.runCancel = nil
+	if cs, ok := s.clients[j.spec.Client]; ok && j.dequeued {
+		// The job is no longer running; its weight stays accounted (it is
+		// still admitted work) but the inflight slot frees for the restart.
+		cs.inflight--
+		j.dequeued = false
+		cs.queued++
+	}
 	s.publishLocked(j, Event{Type: "state", State: StateQueued, Attempt: attempt})
 	s.mu.Unlock()
 	s.reg.Counter("jobs/drained").Inc()

@@ -30,12 +30,14 @@ func TestDaemonBinarySmoke(t *testing.T) {
 		t.Fatalf("build udwnd: %v\n%s", err, out)
 	}
 
+	stateDir := filepath.Join(tmp, "state")
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
-		"-dir", filepath.Join(tmp, "state"),
+		"-dir", stateDir,
 		"-workers", "2",
 		"-grid-workers", "2",
 		"-drain-grace", "10s",
+		"-retain-count", "2",
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -123,6 +125,71 @@ func TestDaemonBinarySmoke(t *testing.T) {
 	if rr.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), "table1") {
 		t.Fatalf("result status = %d body prefix = %q", rr.StatusCode, body[:n])
 	}
+
+	// Retention bounds the state directory: two batches of identical jobs,
+	// each followed by POST /gc, must leave the same on-disk footprint — the
+	// second batch's bytes are reclaimed, not accreted.
+	submitAndWait := func() {
+		resp, err := http.Post(base+"/jobs", "application/json",
+			strings.NewReader(`{"experiments":["table1"],"quick":true,"seeds":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("batch submit status = %d, want 202", resp.StatusCode)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			jr, err := http.Get(base + "/jobs/" + v.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var jv JobView
+			if err := json.NewDecoder(jr.Body).Decode(&jv); err != nil {
+				t.Fatal(err)
+			}
+			jr.Body.Close()
+			if jv.State.Terminal() {
+				if jv.State != StateDone {
+					t.Fatalf("batch job %s ended %s", v.ID, jv.State)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("batch job %s never finished", v.ID)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	runGC := func() {
+		gr, err := http.Post(base+"/gc", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer gr.Body.Close()
+		if gr.StatusCode != http.StatusOK {
+			t.Fatalf("POST /gc status = %d, want 200", gr.StatusCode)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		submitAndWait()
+	}
+	runGC()
+	sizeA := dirSize(t, stateDir)
+	for i := 0; i < 3; i++ {
+		submitAndWait()
+	}
+	runGC()
+	sizeB := dirSize(t, stateDir)
+	if sizeB > sizeA+1024 {
+		t.Fatalf("state dir grew across a retained batch: %d -> %d bytes", sizeA, sizeB)
+	}
+	fmt.Fprintf(os.Stderr, "smoke: state dir %d -> %d bytes across a retained batch\n", sizeA, sizeB)
 
 	// SIGTERM must drain gracefully: exit code 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

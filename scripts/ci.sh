@@ -61,8 +61,22 @@ go test -race -timeout 10m -run 'TestTraceDualFormatAllExperiments|TestQueryScan
 # fan-out across pool workers and HTTP handlers; race the whole package
 # explicitly (includes the submission-flood and SIGKILL/restart tests).
 go test -race -timeout 10m ./internal/jobs
+# The state-bounding machinery added by the retention PR: journal compaction
+# under concurrent writers, single-flight cell dedup across concurrent jobs,
+# per-client quotas with weighted-fair scheduling, and the GC sweep — all
+# are lock-ordering-sensitive, so race their suites explicitly even when
+# the whole-package runs above shard.
+go test -race -timeout 10m -run 'TestCompact|TestRewriteCrashStages|TestConcurrentPutsDuringCompact|TestSingleFlight' ./internal/checkpoint
+go test -race -timeout 10m -run 'TestSingleFlightDedupAcrossConcurrentRuns' ./internal/experiment
+go test -race -timeout 10m -run 'TestGC|TestClient|TestWeightedFair|TestQuotaFlood|TestRetryAfterClamp|TestTraceSubmitUnwritable|TestCancelRemovesTrace' ./internal/jobs
+# The GC crash matrix SIGKILLs a real daemon at every compaction stage and
+# the retention soak bounds the state dir across a kill; both re-exec the
+# test binary, so run them without -race (the victim is raced above).
+go test -timeout 10m -run 'TestGCKillAtEveryStage|TestRetentionBoundsStateDir' ./internal/jobs
 # End-to-end daemon smoke: build the real udwnd binary, submit a job over
-# HTTP, stream its events to DONE, then SIGTERM and require a clean drain.
+# HTTP, stream its events to DONE, run two retained batches through POST /gc
+# asserting the state dir stops growing, then SIGTERM and require a clean
+# drain.
 UDWND_SMOKE=1 go test -timeout 5m -run '^TestDaemonBinarySmoke$' ./internal/jobs
 
 # Native fuzz targets, 10 seconds each: the journal frame decoder against
