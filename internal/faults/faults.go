@@ -103,7 +103,10 @@ type Engine struct {
 	ctr *metrics.Counters
 }
 
-var _ sim.Injector = (*Engine)(nil)
+var (
+	_ sim.Injector          = (*Engine)(nil)
+	_ sim.QuiescentInjector = (*Engine)(nil)
+)
 
 // New compiles spec into an engine.
 func New(spec Spec) *Engine {
@@ -201,6 +204,25 @@ func (e *Engine) BeginTick(s *sim.Sim, tick int) {
 			e.ctr.Add("stalls", 1)
 		}
 	}
+}
+
+// QuiescentUntil implements sim.QuiescentInjector. Crash, stall and sensing
+// corruption draw per-tick decisions (and count events) even in silent
+// slots, so any of those rates forfeits the promise entirely. Jammers are
+// inert — no seizures, no counters — strictly before JamFrom. Deaf
+// receivers and message drops act only on candidate receptions, of which a
+// silent slot has none, so they are unconditionally quiet.
+func (e *Engine) QuiescentUntil(now int) int {
+	if e.spec.CrashRate > 0 || e.spec.StallRate > 0 || e.spec.SenseRate > 0 {
+		return now
+	}
+	if e.spec.JamFraction > 0 && now < e.spec.JamFrom {
+		return e.spec.JamFrom
+	}
+	if e.spec.JamFraction > 0 {
+		return now
+	}
+	return now + (1 << 30)
 }
 
 // Seized hijacks jammed and stalled nodes: a jammer forces an undecodable

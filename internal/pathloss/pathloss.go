@@ -138,6 +138,17 @@ func (f *Field) Power(u, v int) float64 {
 	return f.compute(u, v)
 }
 
+// Row returns transmitter u's cached power row — Row(u)[v] == Power(u, v)
+// for every v, including the zero diagonal — or nil when the field computes
+// powers on the fly (dynamic spaces and deployments beyond the cache bound).
+// The slice aliases the internal cache and must not be modified.
+func (f *Field) Row(u int) []float64 {
+	if f.cache == nil {
+		return nil
+	}
+	return f.cache[u*f.n : (u+1)*f.n]
+}
+
 // PowerAtDist returns the power received at quasi-distance d.
 func (f *Field) PowerAtDist(d float64) float64 {
 	if d < f.dMin {

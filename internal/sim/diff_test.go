@@ -125,6 +125,12 @@ type diffScenario struct {
 // construction (construction itself is shared, so both variants start from
 // bit-identical caches).
 func runDiff(t *testing.T, sc diffScenario, disableGrid bool) string {
+	return runDiffCfg(t, sc, disableGrid, nil)
+}
+
+// runDiffCfg is runDiff with a Config hook, letting the field-mode and
+// quiescence differential suites reuse the same scenario machinery.
+func runDiffCfg(t *testing.T, sc diffScenario, disableGrid bool, mutate func(*Config)) string {
 	t.Helper()
 	var log strings.Builder
 	side := workload.SideForDegree(sc.n, 12, 10)
@@ -147,6 +153,9 @@ func runDiff(t *testing.T, sc diffScenario, disableGrid bool) string {
 	}
 	if sc.inject {
 		cfg.Injector = &diffInjector{seed: sc.seed ^ 0xfa017}
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	s, err := New(cfg, func(int) Protocol {
 		return &diffProto{p: 0.05, nchan: sc.channels, scales: sc.scales, log: &log}
@@ -356,6 +365,59 @@ func TestThirdRadiusFallback(t *testing.T) {
 	s2.Run(80)
 	if s2.ViewRadiusFallbacks() != 0 || snapshotHasCounter(reg2, "sim/view/radius_fallback") {
 		t.Fatal("two-radius model triggered the radius-cache fallback")
+	}
+}
+
+// TestRadiusFallbackSharedRegistry is the regression test for the lazily
+// registered fallback counter under concurrency: many cells (independent
+// sims sharing one run-level registry, as grid runs do) race their first
+// fallback, and registration must be idempotent — exactly one
+// "sim/view/radius_fallback" instrument, totalling the per-sim fallback
+// counts exactly. Run under -race in CI.
+func TestRadiusFallbackSharedRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	const cells = 8
+	var wg sync.WaitGroup
+	perSim := make([]int64, cells)
+	for w := 0; w < cells; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pts := workload.UniformDisc(150, workload.SideForDegree(150, 12, 10), uint64(31+w))
+			s, err := New(Config{
+				Space: metric.NewEuclidean(pts),
+				Model: threeRadiusModel{model.NewUDG(10)},
+				P:     1500, Zeta: 3, Noise: 1, Eps: 0.1,
+				Seed:    uint64(31 + w),
+				Metrics: reg,
+			}, func(int) Protocol { return fixedProb(0.1) })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.Run(60)
+			perSim[w] = s.ViewRadiusFallbacks()
+		}(w)
+	}
+	wg.Wait()
+	var want int64
+	for w, v := range perSim {
+		if v == 0 {
+			t.Fatalf("cell %d triggered no fallbacks — race regression test is vacuous", w)
+		}
+		want += v
+	}
+	instruments := 0
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "sim/view/radius_fallback" {
+			instruments++
+		}
+	}
+	if instruments != 1 {
+		t.Fatalf("radius_fallback registered %d times, want exactly 1", instruments)
+	}
+	if got := reg.CounterValue("sim/view/radius_fallback"); got != want {
+		t.Fatalf("shared counter = %d, sum of per-sim fallbacks = %d", got, want)
 	}
 }
 

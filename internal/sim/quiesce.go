@@ -1,0 +1,180 @@
+package sim
+
+// This file implements quiescence skipping: when a slot ends silent and
+// every alive protocol promises it will stay inert for a while (and any
+// injector promises the same), the simulator arms a skip window and resolves
+// the next slots in O(1) each — advancing tick counters, emitting the
+// observer events and metric updates an executed silent slot would have
+// produced, and deferring the protocols' state advance to a single batched
+// SkipQuiet call when the window ends. The external mutators (Kill, Revive,
+// Move) cancel an armed window before touching anything, so dynamics always
+// observe fully caught-up state. Runs are byte-identical with skipping on or
+// off — pinned by TestQuiescenceSkipTransparent.
+
+// Quiescent is implemented by protocols that can promise inertness. A
+// return k > 0 from QuiescentFor is a contract about the next k ticks,
+// conditional on every one of those slots being silent (no transmitter
+// anywhere, so carrier sensing reads idle and nothing is received):
+//
+//   - the node will not transmit and its actions carry no channel or power
+//     annotations (Act would return the zero Action);
+//   - acting and observing consume no randomness from the node's stream;
+//   - the node's state after k silent slot executions equals its state
+//     after a single SkipQuiet(k) call;
+//   - if the protocol implements ProbReporter, its reported probability is
+//     constant over the stretch.
+//
+// Return 0 (or don't implement the interface) whenever any of this is in
+// doubt; the simulator then runs every slot. QuiescentFor is consulted only
+// after slots that ended silent, with the observation already delivered.
+type Quiescent interface {
+	// QuiescentFor returns how many upcoming silent ticks the node promises
+	// to stay inert for (0 = none).
+	QuiescentFor() int
+	// SkipQuiet advances the node's state as if ticks silent slots executed.
+	SkipQuiet(ticks int)
+}
+
+// QuiescentInjector is optionally implemented by injectors that can promise
+// inertness, enabling quiescence skipping on fault-injected runs. An
+// injector without it disables skipping whenever it is attached.
+type QuiescentInjector interface {
+	// QuiescentUntil returns a tick t >= now such that for every tick in
+	// [now, t) the injector is inert: BeginTick would mutate nothing and
+	// count nothing, Seized returns no seizure with no side effects, and
+	// Observation leaves observations of silent slots untouched — all
+	// assuming those slots are silent. t == now promises nothing.
+	QuiescentUntil(now int) int
+}
+
+// maxQuietWindow caps a skip window so tick arithmetic stays comfortably
+// clear of overflow even with effectively-infinite promises.
+const maxQuietWindow = 1 << 30
+
+// WheelStats counts the quiescence wheel's work, for run diagnostics and
+// the opt-in "sim/wheel/*" metrics.
+type WheelStats struct {
+	// Windows is the number of skip windows armed.
+	Windows int64
+	// SkippedSlots is the number of slots resolved in O(1) inside windows.
+	SkippedSlots int64
+}
+
+// WheelStats returns the cumulative quiescence-skipping counters.
+func (s *Sim) WheelStats() WheelStats { return s.wstat }
+
+// maybeArmQuiet runs at the end of a real Step. If the slot that just
+// resolved was silent and everyone promises continued inertness, it arms a
+// skip window of the minimum promised length.
+func (s *Sim) maybeArmQuiet() {
+	if s.cfg.DisableQuiescence || s.cfg.Async || s.n == 0 || s.busyAtZero {
+		return
+	}
+	if len(s.txBuf) != 0 {
+		return
+	}
+	win := maxQuietWindow
+	if inj := s.cfg.Injector; inj != nil {
+		qi, ok := inj.(QuiescentInjector)
+		if !ok {
+			return
+		}
+		until := qi.QuiescentUntil(s.tick)
+		if until <= s.tick {
+			return
+		}
+		if w := until - s.tick; w < win {
+			win = w
+		}
+	}
+	for v := 0; v < s.n; v++ {
+		if !s.alive[v] {
+			continue
+		}
+		q, ok := s.protos[v].(Quiescent)
+		if !ok {
+			return
+		}
+		k := q.QuiescentFor()
+		if k <= 0 {
+			return
+		}
+		if k < win {
+			win = k
+		}
+	}
+	s.quietLeft = win
+	// Cache the constants every synthesized slot reports: with CD granted,
+	// each alive (necessarily acting — sync mode) node observes an idle
+	// carrier, and the contention histogram samples the (constant) mass.
+	s.quietCDIdle = 0
+	if s.cfg.Primitives.Has(CD) {
+		s.quietCDIdle = s.AliveCount()
+	}
+	s.quietPM = 0
+	if s.met != nil {
+		s.quietPM = s.probMass()
+	}
+	s.wstat.Windows++
+}
+
+// quietStep resolves one slot of an armed window in O(1): no protocol,
+// injector or field work, just the tick advance plus the instrumentation an
+// executed silent slot would have produced.
+func (s *Sim) quietStep() {
+	s.quietLeft--
+	s.quietElapsed++
+	s.wstat.SkippedSlots++
+	if s.met != nil || s.cfg.Observer != nil {
+		if s.cfg.Observer != nil {
+			// Re-slice the same scratch buffers a real slot would publish, so
+			// nil-vs-empty slices in encoded events match exactly.
+			s.txBuf = s.txBuf[:0]
+			s.massDelBuf = s.massDelBuf[:0]
+			s.decodersBuf = s.decodersBuf[:0]
+			s.cfg.Observer(SlotEvent{
+				Tick: s.tick, Slot: s.tick % s.slots, Transmitters: s.txBuf,
+				MassDeliverers: s.massDelBuf, Decoders: s.decodersBuf,
+				CDIdle: s.quietCDIdle,
+			})
+		}
+		if m := s.met; m != nil {
+			m.slots.Inc()
+			m.cdIdle.Add(int64(s.quietCDIdle))
+			m.txPerSlot.Observe(0)
+			m.contention.Observe(s.quietPM)
+			s.flushIndexStats()
+			s.flushFieldStats()
+		}
+	}
+	s.tick++
+}
+
+// wakeQuiet cancels an armed window and catches the protocols up; the
+// mutators call it before touching any state so their effects land on a
+// fully advanced simulation.
+func (s *Sim) wakeQuiet() {
+	if s.quietLeft == 0 && s.quietElapsed == 0 {
+		return
+	}
+	s.flushQuiet()
+}
+
+// flushQuiet delivers the batched state advance for the slots skipped so
+// far and disarms the window.
+func (s *Sim) flushQuiet() {
+	k := s.quietElapsed
+	s.quietElapsed = 0
+	s.quietLeft = 0
+	if k == 0 {
+		return
+	}
+	for v := 0; v < s.n; v++ {
+		if !s.alive[v] {
+			continue
+		}
+		if q, ok := s.protos[v].(Quiescent); ok {
+			q.SkipQuiet(k)
+		}
+	}
+}

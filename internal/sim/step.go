@@ -62,8 +62,16 @@ func (vw *slotView) Power(w, v int) float64 {
 	}
 	return p
 }
-func (vw *slotView) Dist(u, v int) float64    { return vw.s.cfg.Space.Dist(u, v) }
-func (vw *slotView) TotalPower(v int) float64 { return vw.total[v] }
+func (vw *slotView) Dist(u, v int) float64 { return vw.s.cfg.Space.Dist(u, v) }
+func (vw *slotView) TotalPower(v int) float64 {
+	if vw.epoch != 0 {
+		// Live views route through the incremental engine, which resolves
+		// lazily-invalidated receivers on demand; hand-built test views keep
+		// the direct read.
+		return vw.s.fieldAt(v)
+	}
+	return vw.total[v]
+}
 
 func (vw *slotView) TransmittersWithin(v int, r float64, excluding int) int {
 	for i := 0; i < vw.cntN; i++ {
@@ -186,6 +194,17 @@ func (s *Sim) Step() {
 	if s.cfg.Cancel != nil && s.cfg.Cancel() {
 		panic(Cancelled{Tick: s.tick})
 	}
+	if s.quietLeft > 0 {
+		// An armed quiescence window resolves this slot in O(1); see
+		// quiesce.go for the transparency contract.
+		s.quietStep()
+		return
+	}
+	if s.quietElapsed > 0 {
+		// A window just ran out naturally: deliver the batched protocol
+		// catch-up before executing a real slot.
+		s.flushQuiet()
+	}
 	slot := s.tick % s.slots
 	inj := s.cfg.Injector
 	if inj != nil {
@@ -254,17 +273,24 @@ func (s *Sim) Step() {
 	// the interference on v's tuned channel: only same-channel
 	// transmissions reach a tuned radio. Skipped entirely for
 	// field-oblivious models running without power-sensing primitives —
-	// nothing in the slot reads the field then.
+	// nothing in the slot reads the field then. The incremental engine
+	// (accSlot non-nil) carries valid accumulators across slots and
+	// re-sums only invalidated receivers; the brute driver below is the
+	// FieldRecompute reference it is byte-identical to.
 	if s.needPower {
-		for v := 0; v < s.n; v++ {
-			s.totalPower[v] = 0
-		}
-		for _, w := range s.txBuf {
-			sc := s.scaleBuf[w]
-			wc := s.chanBuf[w]
+		if s.accSlot != nil {
+			s.fieldAdvance()
+		} else {
 			for v := 0; v < s.n; v++ {
-				if s.chanBuf[v] == wc {
-					s.totalPower[v] += s.field.Power(w, v) * sc
+				s.totalPower[v] = 0
+			}
+			for _, w := range s.txBuf {
+				sc := s.scaleBuf[w]
+				wc := s.chanBuf[w]
+				for v := 0; v < s.n; v++ {
+					if s.chanBuf[v] == wc {
+						s.totalPower[v] += s.field.Power(w, v) * sc
+					}
 				}
 			}
 		}
@@ -470,7 +496,7 @@ func (s *Sim) Step() {
 			obs.Received = s.recvBuf[v]
 		}
 		if prim.Has(CD) {
-			obs.Busy = s.th.Busy(s.totalPower[v])
+			obs.Busy = s.th.Busy(s.fieldAt(v))
 		}
 		if isTx {
 			switch {
@@ -571,10 +597,12 @@ func (s *Sim) Step() {
 			m.txPerSlot.Observe(float64(len(s.txBuf)))
 			m.contention.Observe(s.probMass())
 			s.flushIndexStats()
+			s.flushFieldStats()
 		}
 	}
 
 	s.tick++
+	s.maybeArmQuiet()
 }
 
 // ackOutcome applies Def. ACK for transmitter u: sensed interference within
@@ -584,7 +612,7 @@ func (s *Sim) ackOutcome(u int) bool {
 	if !s.massAckBuf[u] {
 		return false
 	}
-	if s.th.AckClear(s.totalPower[u]) {
+	if s.th.AckClear(s.fieldAt(u)) {
 		return true
 	}
 	return s.adv.AckAmbiguous(u, s.tick)
